@@ -1,0 +1,1 @@
+bench/bench_util.ml: Analyze Bechamel Benchmark Driver Hashtbl List Printf String Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel Bench_util Bytes Driver Format Int32 Int64 List Nic_models Opendesc Option P4 Packet Printf Softnic String Sys

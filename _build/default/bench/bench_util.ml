@@ -1,0 +1,41 @@
+(* Shared helpers for the experiment harness. *)
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let subsection title = Printf.printf "\n--- %s ---\n" title
+
+(* Run a list of bechamel tests and return (name, estimated ns/run). *)
+let bechamel_estimates tests =
+  let open Bechamel in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let raw =
+    Benchmark.all cfg [ instance ] (Test.make_grouped ~name:"opendesc" tests)
+  in
+  let ols = Analyze.ols ~r_square:false ~bootstrap:0 ~predictors:[| "run" |] in
+  let results = Analyze.all ols instance raw in
+  Hashtbl.fold
+    (fun name ols acc ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> (name, est) :: acc
+      | _ -> acc)
+    results []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let print_estimates rows =
+  Printf.printf "%-48s %12s\n" "benchmark" "ns/op";
+  List.iter (fun (name, ns) -> Printf.printf "%-48s %12.1f\n" name ns) rows
+
+(* Throughput-model comparison of several stacks on the same model. *)
+let compare_stacks ?(pkts = 4096) ?(touch_payload = false) ~model ~config ~workload
+    stacks =
+  List.map
+    (fun (label, stack) ->
+      let device = Driver.Device.create_exn ~config model in
+      let w = workload () in
+      let stats = Driver.Stack.run ~pkts ~touch_payload ~device ~workload:w stack in
+      { stats with Driver.Stats.name = label })
+    stacks
+
+let pct a b = (a -. b) /. b *. 100.0

@@ -1,0 +1,390 @@
+(* opendesc_cc: the OpenDesc compiler command line.
+
+   Subcommands:
+     list                      catalogue of built-in NIC models and semantics
+     paths    --nic ...        enumerate a NIC's completion paths
+     cfg      --nic ...        Graphviz CFG of the completion deparser
+     compile  --nic ... --semantics ... | --intent file.p4
+                               run the compiler; optionally emit C/eBPF *)
+
+open Cmdliner
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+(* A NIC argument is either a built-in model name or a path to a P4
+   description file. *)
+let load_nic ~intent name =
+  let models = Nic_models.Catalog.all ~intent () in
+  match Nic_models.Catalog.find name models with
+  | Some m -> Ok m.spec
+  | None ->
+      if Sys.file_exists name then
+        Opendesc.Nic_spec.load ~name:(Filename.remove_extension (Filename.basename name))
+          ~kind:Opendesc.Nic_spec.Fixed_function (read_file name)
+      else
+        Error
+          (Printf.sprintf
+             "unknown NIC %S (not a built-in model and no such file); try \
+              'opendesc_cc list'"
+             name)
+
+let intent_of_args ~semantics ~intent_file registry =
+  match (semantics, intent_file) with
+  | Some sems, None ->
+      let fields =
+        List.map
+          (fun s ->
+            match Opendesc.Semantic.width registry s with
+            | Some w -> (s, w)
+            | None -> (s, 32))
+          (String.split_on_char ',' sems)
+      in
+      Ok (Opendesc.Intent.make fields)
+  | None, Some path -> (
+      let src = read_file path in
+      match Opendesc.Prelude.check_result src with
+      | Error e -> Error e
+      | Ok tenv -> (
+          match Opendesc.Intent.of_program tenv with
+          | Error e -> Error e
+          | Ok intent -> (
+              (* register any custom @cost semantics from the intent *)
+              match P4.Typecheck.find_header tenv intent.name with
+              | Some h -> (
+                  match Opendesc.Intent.register_custom_semantics registry h with
+                  | Ok () -> Ok intent
+                  | Error e -> Error e)
+              | None -> Ok intent)))
+  | Some _, Some _ -> Error "pass either --semantics or --intent, not both"
+  | None, None -> Error "an intent is required: --semantics rss,vlan or --intent file.p4"
+
+let nic_arg =
+  Arg.(
+    required
+    & opt (some string) None
+    & info [ "nic" ] ~docv:"NIC" ~doc:"Built-in NIC model name or P4 description file.")
+
+let semantics_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "semantics"; "s" ] ~docv:"S1,S2,..."
+        ~doc:"Comma-separated requested semantics.")
+
+let intent_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "intent"; "i" ] ~docv:"FILE"
+        ~doc:"P4 file declaring the intent header (Figure 5 style).")
+
+let alpha_arg =
+  Arg.(
+    value
+    & opt float Opendesc.Select.default_alpha
+    & info [ "alpha" ] ~docv:"CYCLES_PER_BYTE"
+        ~doc:"DMA footprint weight of Eq. 1 (default 2.0).")
+
+let fail fmt = Printf.ksprintf (fun s -> `Error (false, s)) fmt
+
+(* --- list ---------------------------------------------------------- *)
+
+let list_cmd =
+  let run () =
+    let registry = Opendesc.Semantic.default () in
+    let intent = Nic_models.Catalog.fig1_intent in
+    print_endline "Built-in NIC models:";
+    List.iter
+      (fun (m : Nic_models.Model.t) ->
+        Format.printf "  %a@." Opendesc.Nic_spec.pp m.spec)
+      (Nic_models.Catalog.all ~intent ());
+    print_endline "";
+    print_endline "Known semantics (name, width, software cost in cycles):";
+    List.iter
+      (fun name ->
+        match Opendesc.Semantic.find registry name with
+        | Some info ->
+            Format.printf "  %-18s %3d bits  %-8s %s@." info.name info.width_bits
+              (if Float.is_finite info.sw_cost then
+                 Printf.sprintf "%.0f" info.sw_cost
+               else "hw-only")
+              info.descr
+        | None -> ())
+      (Opendesc.Semantic.names registry);
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List built-in NIC models and known semantics.")
+    Term.(ret (const run $ const ()))
+
+(* --- paths --------------------------------------------------------- *)
+
+let paths_cmd =
+  let run nic =
+    let intent = Nic_models.Catalog.fig1_intent in
+    match load_nic ~intent nic with
+    | Error e -> fail "%s" e
+    | Ok spec ->
+        Format.printf "%a@." Opendesc.Report.paths spec;
+        (match spec.tx_formats with
+        | [] -> ()
+        | fs ->
+            Format.printf "TX descriptor formats:@.";
+            List.iter (fun f -> Format.printf "  %a@." Opendesc.Descparser.pp f) fs);
+        (match Opendesc.Nic_spec.lint spec with
+        | [] -> ()
+        | ws ->
+            Format.printf "lint warnings:@.";
+            List.iter (Format.printf "  - %s@.") ws);
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "paths" ~doc:"Enumerate the completion paths of a NIC description.")
+    Term.(ret (const run $ nic_arg))
+
+(* --- cfg ----------------------------------------------------------- *)
+
+let cfg_cmd =
+  let run nic =
+    let intent = Nic_models.Catalog.fig1_intent in
+    match load_nic ~intent nic with
+    | Error e -> fail "%s" e
+    | Ok spec ->
+        print_string (Opendesc.Cfg.to_dot (Opendesc.Nic_spec.cfg spec));
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "cfg"
+       ~doc:"Print the completion deparser's control-flow graph as Graphviz dot.")
+    Term.(ret (const run $ nic_arg))
+
+(* --- compile ------------------------------------------------------- *)
+
+let compile_cmd =
+  let emit_c_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-c" ] ~docv:"FILE" ~doc:"Write the generated C header to FILE.")
+  in
+  let emit_ebpf_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-ebpf" ] ~docv:"FILE" ~doc:"Write the generated XDP program to FILE.")
+  in
+  let emit_datapath_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "emit-datapath" ] ~docv:"FILE"
+          ~doc:"Write the complete generated C driver datapath to FILE.")
+  in
+  let run nic semantics intent_file alpha emit_c emit_ebpf emit_datapath =
+    let registry = Opendesc.Semantic.default () in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        match load_nic ~intent nic with
+        | Error e -> fail "%s" e
+        | Ok spec -> (
+            match Opendesc.Compile.run ~alpha ~registry ~intent spec with
+            | Error e -> fail "%s" e
+            | Ok compiled ->
+                print_endline (Opendesc.Report.to_string compiled);
+                let write path contents =
+                  let oc = open_out path in
+                  output_string oc contents;
+                  close_out oc;
+                  Printf.printf "wrote %s\n" path
+                in
+                Option.iter
+                  (fun p -> write p (Opendesc.Compile.c_source compiled))
+                  emit_c;
+                Option.iter
+                  (fun p -> write p (Opendesc.Compile.ebpf_source compiled))
+                  emit_ebpf;
+                Option.iter
+                  (fun p -> write p (Opendesc.Compile.datapath_source compiled))
+                  emit_datapath;
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "compile"
+       ~doc:
+         "Select the fittest completion path for an intent and synthesize host \
+          accessors.")
+    Term.(
+      ret
+        (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg $ emit_c_arg
+       $ emit_ebpf_arg $ emit_datapath_arg))
+
+(* --- placement ------------------------------------------------------ *)
+
+let placement_cmd =
+  let pcie_arg =
+    Arg.(
+      value
+      & opt float Opendesc.Placement.default_point.pcie_gbps
+      & info [ "pcie" ] ~docv:"GBPS" ~doc:"Usable PCIe bandwidth toward the host.")
+  in
+  let size_arg =
+    Arg.(
+      value
+      & opt int Opendesc.Placement.default_point.pkt_bytes
+      & info [ "pkt-size" ] ~docv:"BYTES" ~doc:"Average packet size.")
+  in
+  let run nic semantics intent_file pcie_gbps pkt_bytes =
+    let registry = Opendesc.Semantic.default () in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        match load_nic ~intent nic with
+        | Error e -> fail "%s" e
+        | Ok spec -> (
+            let point =
+              { Opendesc.Placement.default_point with pcie_gbps; pkt_bytes }
+            in
+            match Opendesc.Placement.advise ~point registry intent spec with
+            | Error e -> fail "%s" (Opendesc.Select.error_to_string e)
+            | Ok verdicts ->
+                Printf.printf "%-6s %6s %10s %10s %12s %12s %6s\n" "path" "cmpt"
+                  "cpu c/pkt" "dma B/pkt" "cpu Mpps" "pcie Mpps" "bound";
+                List.iter
+                  (fun (v : Opendesc.Placement.verdict) ->
+                    Printf.printf "#%-5d %5dB %10.1f %10.0f %12.1f %12.1f %6s\n"
+                      v.v_path.p_index
+                      (Opendesc.Path.size v.v_path)
+                      v.v_cpu_cycles v.v_dma_bytes (v.v_cpu_pps /. 1e6)
+                      (v.v_pcie_pps /. 1e6)
+                      (match v.v_bottleneck with `Cpu -> "cpu" | `Pcie -> "pcie"))
+                  verdicts;
+                (match
+                   Opendesc.Placement.crossover_pps ~point registry intent spec
+                 with
+                | Some (pps, low, high) ->
+                    Printf.printf
+                      "below %.1f Mpps prefer path #%d (least CPU); above it path #%d\n"
+                      (pps /. 1e6) low.p_index high.p_index
+                | None -> print_endline "one path dominates at every rate");
+                `Ok ()))
+  in
+  Cmd.v
+    (Cmd.info "placement"
+       ~doc:
+         "Rate-aware offload placement: sustainable rate per completion path \
+          under CPU and PCIe budgets.")
+    Term.(ret (const run $ nic_arg $ semantics_arg $ intent_arg $ pcie_arg $ size_arg))
+
+(* --- diff ------------------------------------------------------------ *)
+
+let diff_cmd =
+  let against_arg =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "against" ] ~docv:"NIC" ~doc:"The newer revision to compare against.")
+  in
+  let run nic against =
+    let intent = Nic_models.Catalog.fig1_intent in
+    match (load_nic ~intent nic, load_nic ~intent against) with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok old_spec, Ok new_spec ->
+        let changes = Opendesc.Nic_diff.compare old_spec new_spec in
+        Format.printf "%s -> %s:@.%a" old_spec.nic_name new_spec.nic_name
+          Opendesc.Nic_diff.pp changes;
+        `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "diff"
+       ~doc:
+         "Semantic diff between two NIC description revisions: what a \
+          firmware upgrade adds, removes, moves, or breaks.")
+    Term.(ret (const run $ nic_arg $ against_arg))
+
+(* --- validate -------------------------------------------------------- *)
+
+let validate_cmd =
+  let probes_arg =
+    Arg.(value & opt int 64 & info [ "probes" ] ~docv:"N" ~doc:"Probe packets.")
+  in
+  let run nic semantics intent_file probes =
+    let registry = Opendesc.Semantic.default () in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let models = Nic_models.Catalog.all ~intent () in
+        match Nic_models.Catalog.find nic models with
+        | None ->
+            fail
+              "validation drives the simulated device, so NIC must be a \
+               built-in model; try 'opendesc_cc list'"
+        | Some model -> (
+            match Opendesc.Compile.run ~registry ~intent model.spec with
+            | Error e -> fail "%s" e
+            | Ok compiled -> (
+                match
+                  Driver.Device.create ~config:compiled.config model
+                with
+                | Error e -> fail "%s" e
+                | Ok device ->
+                    let report =
+                      Driver.Validate.run ~probes ~device ~compiled ()
+                    in
+                    Format.printf "%a@." Driver.Validate.pp report;
+                    if Driver.Validate.conforms report then `Ok ()
+                    else fail "device does not conform to its description")))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:
+         "Probe a simulated device and verify its completions against the \
+          software reference (contract conformance).")
+    Term.(ret (const run $ nic_arg $ semantics_arg $ intent_arg $ probes_arg))
+
+(* --- shims --------------------------------------------------------- *)
+
+let shims_cmd =
+  let run () =
+    print_endline
+      "Reference P4 implementations (interpreted as SoftNIC shims when a\n\
+       semantic is missing from the selected completion path):\n";
+    let flow =
+      Packet.Fivetuple.make ~src_ip:0x0a000001l ~dst_ip:0xc0a80001l ~src_port:1042
+        ~dst_port:80 ~proto:6
+    in
+    let pkt =
+      Packet.Builder.ipv4 ~vlan:100 ~ip_id:7 ~flow
+        (Packet.Builder.Tcp { seq = 1l; flags = 0x10 })
+    in
+    Printf.printf "%-12s %-10s (on a sample vlan-tagged TCP packet)\n" "semantic"
+      "value";
+    List.iter
+      (fun sem ->
+        match Opendesc.Refimpl.interpret sem with
+        | Ok f -> Printf.printf "%-12s %-10Ld\n" sem (f pkt)
+        | Error e -> Printf.printf "%-12s error: %s\n" sem e)
+      Opendesc.Refimpl.p4_semantics;
+    print_endline "\nReference P4 source:";
+    print_string Opendesc.Refimpl.source;
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "shims"
+       ~doc:"Show the reference P4 feature implementations and interpret them.")
+    Term.(ret (const run $ const ()))
+
+let main =
+  let doc = "the OpenDesc prototype compiler" in
+  Cmd.group
+    (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
+    [
+      list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
+      diff_cmd; shims_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

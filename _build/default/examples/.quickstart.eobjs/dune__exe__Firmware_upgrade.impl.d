@@ -1,0 +1,1 @@
+examples/firmware_upgrade.ml: Driver List Nic_models Opendesc Packet Printf Softnic

@@ -1,0 +1,1 @@
+examples/firmware_upgrade.mli:

@@ -1,0 +1,1 @@
+examples/kvs_offload.ml: Driver List Nic_models Opendesc Packet Printf Softnic String

@@ -1,0 +1,1 @@
+examples/load_balancer.ml: Array Bytes Driver Hashtbl Int64 List Nic_models Opendesc Option Packet Printf Softnic String

@@ -1,0 +1,1 @@
+examples/multi_nic_portability.ml: Array Driver Int64 List Nic_models Opendesc Packet Printf Softnic String

@@ -1,0 +1,1 @@
+examples/multi_queue.ml: Array Driver Int64 List Nic_models Opendesc Packet Printf

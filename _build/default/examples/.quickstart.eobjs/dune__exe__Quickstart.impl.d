@@ -1,0 +1,1 @@
+examples/quickstart.ml: Driver List Nic_models Opendesc Packet Printf Softnic String

@@ -1,0 +1,1 @@
+examples/xdp_metadata.ml: Nic_models Opendesc Printf

@@ -1,0 +1,77 @@
+(* The paper's Figure-1 scenario: a key-value store wants the NIC to hand
+   it, per request packet, the checksum status, the decapsulated VLAN
+   TCI, the RSS hash, and the *key of the KVS request* (a custom,
+   FlexNIC-style feature).
+
+   The intent is written in P4 with @semantic annotations. We compile it
+   against a fixed-function NIC (everything custom falls back to
+   software) and against a BlueField-style NIC whose match-action
+   pipeline computes the key on the card — then measure what the
+   difference costs on a million-packet workload.
+
+   Run with: dune exec examples/kvs_offload.exe *)
+
+let intent_p4 =
+  {|
+@intent
+header kvs_intent_t {
+  @semantic("ip_checksum") bit<16> csum;
+  @semantic("vlan")        bit<16> vlan_tci;
+  @semantic("rss")         bit<32> hash;
+  @semantic("kvs_key")     bit<64> key;
+}
+|}
+
+let run_on (model : Nic_models.Model.t) intent =
+  let compiled = Opendesc.Compile.run_exn ~intent model.spec in
+  Printf.printf "%s\n" (Opendesc.Report.summary_line compiled);
+  let device = Driver.Device.create_exn ~config:compiled.config model in
+  let workload = Packet.Workload.make ~seed:77L Packet.Workload.(Kvs { key_len = 12 }) in
+  let stats =
+    Driver.Stack.run ~pkts:8192 ~device ~workload
+      (Driver.Hoststacks.opendesc ~compiled)
+  in
+  (compiled, stats)
+
+let () =
+  let intent =
+    match Opendesc.Intent.of_source intent_p4 with
+    | Ok i -> i
+    | Error e -> failwith e
+  in
+  Printf.printf "Requested: %s\n\n" (String.concat ", " (Opendesc.Intent.required intent));
+
+  print_endline "=== fixed-function NIC (e1000-newer) ===";
+  let _, fixed_stats = run_on (Nic_models.E1000.newer ()) intent in
+
+  print_endline "\n=== BlueField-style NIC, KVS pipeline installed ===";
+  let bf_compiled, bf_stats = run_on (Nic_models.Bluefield.model ()) intent in
+
+  print_endline "\n=== fully-programmable QDMA, format synthesized from the intent ===";
+  let _, qdma_stats = run_on (Nic_models.Qdma.model ~intent ()) intent in
+
+  Printf.printf "\nper-packet cost: fixed=%.0f  bluefield=%.0f  qdma=%.0f cycles\n"
+    fixed_stats.cycles_per_pkt bf_stats.cycles_per_pkt qdma_stats.cycles_per_pkt;
+  Printf.printf "offload speedup over fixed NIC: bluefield %.2fx, qdma %.2fx\n"
+    (Driver.Stats.ratio bf_stats fixed_stats)
+    (Driver.Stats.ratio qdma_stats fixed_stats);
+
+  (* Show that the offloaded key is byte-identical to the software one. *)
+  let device = Driver.Device.create_exn ~config:bf_compiled.config (Nic_models.Bluefield.model ()) in
+  let flow =
+    Packet.Fivetuple.make ~src_ip:0x0a000007l ~dst_ip:0xc0a80001l ~src_port:9999
+      ~dst_port:11211 ~proto:Packet.Hdr.Proto.udp
+  in
+  let pkt = Packet.Builder.kvs_get ~flow ~key:"user:1234" in
+  assert (Driver.Device.rx_inject device pkt);
+  (match Driver.Device.rx_consume device with
+  | Some (_, _, cmpt) ->
+      let hw_key =
+        match List.assoc "kvs_key" bf_compiled.bindings with
+        | Opendesc.Compile.Hardware a -> a.a_get cmpt
+        | Opendesc.Compile.Software _ -> assert false
+      in
+      Printf.printf "\nkey for 'get user:1234': hw=0x%016Lx  sw=0x%016Lx (%s)\n" hw_key
+        (Softnic.Kvs.fold_key "user:1234")
+        (if hw_key = Softnic.Kvs.fold_key "user:1234" then "match" else "MISMATCH")
+  | None -> assert false)

@@ -1,0 +1,1 @@
+lib/driver/device.ml: Bytes Dma Format Hashtbl List Nic_models Opendesc Packet Ring Softnic String

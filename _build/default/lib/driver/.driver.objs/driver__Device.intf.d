@@ -1,0 +1,1 @@
+lib/driver/device.mli: Nic_models Opendesc Packet Softnic

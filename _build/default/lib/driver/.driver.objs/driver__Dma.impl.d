@@ -1,0 +1,1 @@
+lib/driver/dma.ml: Bytes

@@ -1,0 +1,1 @@
+lib/driver/hoststacks.ml: Aggregator Bytes Cost Device Int64 Lazy List Opendesc Packet Softnic Stack Stats

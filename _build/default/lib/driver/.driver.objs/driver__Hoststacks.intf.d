@@ -1,0 +1,1 @@
+lib/driver/hoststacks.mli: Device Opendesc Packet Softnic Stack Stats

@@ -1,0 +1,1 @@
+lib/driver/mq.ml: Array Device Int32 List Packet Printf Softnic

@@ -1,0 +1,1 @@
+lib/driver/mq.mli: Device Nic_models Opendesc Packet

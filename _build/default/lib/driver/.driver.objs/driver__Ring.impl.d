@@ -1,0 +1,1 @@
+lib/driver/ring.ml: Bytes Dma

@@ -1,0 +1,1 @@
+lib/driver/stack.ml: Bytes Char Cost Device Int64 Packet Softnic Stats

@@ -1,0 +1,1 @@
+lib/driver/stack.mli: Cost Device Packet Softnic Stats

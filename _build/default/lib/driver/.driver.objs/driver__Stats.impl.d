@@ -1,0 +1,1 @@
+lib/driver/stats.ml: Cost Format List

@@ -1,0 +1,1 @@
+lib/driver/stats.mli: Cost Format

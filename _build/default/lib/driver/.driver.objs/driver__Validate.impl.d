@@ -1,0 +1,1 @@
+lib/driver/validate.ml: Device Format Int64 List Opendesc Option Packet Printf Softnic String

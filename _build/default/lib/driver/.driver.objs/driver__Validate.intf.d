@@ -1,0 +1,1 @@
+lib/driver/validate.mli: Device Format Opendesc

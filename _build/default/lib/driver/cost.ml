@@ -1,0 +1,36 @@
+type t = (string, float) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let charge t name cycles =
+  let cur = match Hashtbl.find_opt t name with Some c -> c | None -> 0.0 in
+  Hashtbl.replace t name (cur +. cycles)
+
+let total t = Hashtbl.fold (fun _ c acc -> acc +. c) t 0.0
+
+let breakdown t =
+  Hashtbl.fold (fun k c acc -> (k, c) :: acc) t []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+let reset = Hashtbl.reset
+
+module K = struct
+  let cache_line_load = 18.0
+  let field_move = 3.0
+  let field_branch = 2.0
+  let accessor_read = 2.5
+  let skbuff_alloc = 110.0
+  let mbuf_alloc = 24.0
+  let mbuf_dyn_lookup = 14.0
+  let xdp_prologue = 12.0
+  let ring_advance = 6.0
+  let refill = 8.0
+  let payload_touch_per_byte = 0.55
+  let stream_copy_per_byte = 0.22
+  let pipeline_fixed = 140.0
+  let clock_ghz = 3.0
+end
+
+let pps_of_cycles cycles = K.clock_ghz *. 1e9 /. cycles
+
+let latency_ns_of_cycles cycles = (K.pipeline_fixed +. cycles) /. K.clock_ghz

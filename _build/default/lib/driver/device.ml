@@ -1,0 +1,183 @@
+type t = {
+  model : Nic_models.Model.t;
+  env : Softnic.Feature.env;
+  mutable config : Opendesc.Context.assignment;
+  mutable active_path : Opendesc.Path.t;
+  cmpt_ring : Ring.t;
+  pkt_ring : Ring.t;
+  tx_ring : Ring.t;
+  buf_size : int;
+  mutable tx_format : Opendesc.Descparser.t option;
+  mutable rx_count : int;
+  mutable tx_count : int;
+  mutable drops : int;
+  mutable tx_pkt_bytes_read : int;
+}
+
+let normalize a = List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) a
+
+let assignment_matches config a =
+  Opendesc.Context.equal (normalize config) (normalize a)
+
+let path_for_config (spec : Opendesc.Nic_spec.t) config =
+  List.find_opt
+    (fun (p : Opendesc.Path.t) ->
+      List.exists (assignment_matches config) p.p_assignments)
+    spec.paths
+
+let max_cmpt_size (spec : Opendesc.Nic_spec.t) =
+  List.fold_left (fun acc p -> max acc (Opendesc.Path.size p)) 1 spec.paths
+
+let smallest_tx (spec : Opendesc.Nic_spec.t) =
+  match spec.tx_formats with
+  | [] -> None
+  | f :: rest ->
+      Some
+        (List.fold_left
+           (fun best g ->
+             if Opendesc.Descparser.size g < Opendesc.Descparser.size best then g
+             else best)
+           f rest)
+
+let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.Model.t)
+    =
+  match path_for_config model.spec config with
+  | None ->
+      Error
+        (Format.asprintf "%s: context %a selects no completion path"
+           model.spec.nic_name Opendesc.Context.pp config)
+  | Some path ->
+      Ok
+        {
+          model;
+          env = Softnic.Feature.make_env ();
+          config;
+          active_path = path;
+          cmpt_ring = Ring.create ~slots:queue_depth ~slot_size:(max_cmpt_size model.spec);
+          pkt_ring = Ring.create ~slots:queue_depth ~slot_size:(buf_size + 2);
+          tx_ring =
+            Ring.create ~slots:queue_depth
+              ~slot_size:
+                (List.fold_left
+                   (fun acc f -> max acc (Opendesc.Descparser.size f))
+                   16 model.spec.tx_formats);
+          buf_size;
+          tx_format = smallest_tx model.spec;
+          rx_count = 0;
+          tx_count = 0;
+          drops = 0;
+          tx_pkt_bytes_read = 0;
+        }
+
+let create_exn ?queue_depth ?buf_size ~config model =
+  match create ?queue_depth ?buf_size ~config model with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let configure t config =
+  match path_for_config t.model.spec config with
+  | None ->
+      Error
+        (Format.asprintf "%s: context %a selects no completion path"
+           t.model.spec.nic_name Opendesc.Context.pp config)
+  | Some path ->
+      t.config <- config;
+      t.active_path <- path;
+      Ok ()
+
+let active_path t = t.active_path
+
+let install_mark t flow mark = Hashtbl.replace t.env.flow_marks flow mark
+let model t = t.model
+let env t = t.env
+
+let rx_inject t pkt =
+  let len = Packet.Pkt.len pkt in
+  if len > t.buf_size || Ring.is_full t.pkt_ring || Ring.is_full t.cmpt_ring then begin
+    t.drops <- t.drops + 1;
+    false
+  end
+  else begin
+    (* Packet buffer slot: 2-byte length prefix + data. *)
+    let slot = Bytes.create (len + 2) in
+    Bytes.set_uint16_le slot 0 len;
+    Bytes.blit pkt.Packet.Pkt.buf 0 slot 2 len;
+    let ok1 = Ring.produce_dev t.pkt_ring slot in
+    (* Completion record per the active path's layout. *)
+    let layout = t.active_path.p_layout in
+    let cmpt = Bytes.make layout.size_bytes '\x00' in
+    let view = Packet.Pkt.parse pkt in
+    Opendesc.Accessor.write_record layout cmpt (fun f ->
+        t.model.resolve t.env pkt view f);
+    let ok2 = Ring.produce_dev t.cmpt_ring cmpt in
+    assert (ok1 && ok2);
+    t.rx_count <- t.rx_count + 1;
+    true
+  end
+
+let rx_available t = Ring.available t.cmpt_ring
+
+let rx_consume t =
+  match Ring.consume_host t.cmpt_ring with
+  | None -> None
+  | Some cmpt -> (
+      match Ring.consume_host t.pkt_ring with
+      | None -> None (* rings advance in lockstep; unreachable *)
+      | Some slot ->
+          let len = Bytes.get_uint16_le slot 0 in
+          let pkt = Bytes.sub slot 2 len in
+          (* Trim the completion to the active layout size. *)
+          let cmpt = Bytes.sub cmpt 0 t.active_path.p_layout.size_bytes in
+          Some (pkt, len, cmpt))
+
+let tx_format t = t.tx_format
+let set_tx_format t f = t.tx_format <- Some f
+
+let tx_post t desc = Ring.produce_host t.tx_ring desc
+
+let tx_process t ~fetch =
+  match t.tx_format with
+  | None -> 0
+  | Some fmt ->
+      let addr_field = Opendesc.Descparser.field_for fmt "buf_addr" in
+      let sent = ref 0 in
+      let rec drain () =
+        match Ring.consume_dev t.tx_ring with
+        | None -> ()
+        | Some desc -> (
+            (match addr_field with
+            | Some f ->
+                let addr =
+                  Opendesc.Accessor.reader ~bit_off:f.l_bit_off ~bits:f.l_bits desc
+                in
+                (match fetch addr with
+                | Some pkt ->
+                    (* Device fetches the packet body over DMA. *)
+                    t.tx_pkt_bytes_read <- t.tx_pkt_bytes_read + Packet.Pkt.len pkt;
+                    t.tx_count <- t.tx_count + 1;
+                    incr sent
+                | None -> t.drops <- t.drops + 1)
+            | None -> t.drops <- t.drops + 1);
+            drain ())
+      in
+      drain ();
+      !sent
+
+let rx_count t = t.rx_count
+let tx_count t = t.tx_count
+let drops t = t.drops
+
+let dma_bytes t =
+  Dma.dev_written_bytes (Ring.dma t.pkt_ring)
+  + Dma.dev_written_bytes (Ring.dma t.cmpt_ring)
+  + Dma.dev_read_bytes (Ring.dma t.tx_ring)
+  + t.tx_pkt_bytes_read
+
+let reset_counters t =
+  t.rx_count <- 0;
+  t.tx_count <- 0;
+  t.drops <- 0;
+  t.tx_pkt_bytes_read <- 0;
+  Dma.reset_counters (Ring.dma t.pkt_ring);
+  Dma.reset_counters (Ring.dma t.cmpt_ring);
+  Dma.reset_counters (Ring.dma t.tx_ring)

@@ -1,0 +1,92 @@
+(** The simulated NIC device.
+
+    One receive queue and one transmit queue over DMA rings, driven by a
+    behavioural {!Nic_models.Model.t}. The device is an interpreter of
+    its own OpenDesc description: the completion layout it serialises is
+    exactly the completion path selected by the programmed context — so
+    if the compiler and the device ever disagreed about a layout, every
+    end-to-end test would fail.
+
+    RX: the "wire" side injects packets; the device computes its
+    hardware metadata, DMAs the packet into a host buffer slot and a
+    completion record into the completion ring.
+    TX: the host posts descriptors in one of the NIC's accepted formats;
+    the device fetches them, parses out buffer address and length, and
+    counts the transmission. *)
+
+type t
+
+val create :
+  ?queue_depth:int ->
+  ?buf_size:int ->
+  config:Opendesc.Context.assignment ->
+  Nic_models.Model.t ->
+  (t, string) result
+(** [config] must select one of the model's completion paths (compare
+    with the assignments enumerated by the compiler). Default queue
+    depth 512, buffer size 2048. *)
+
+val create_exn :
+  ?queue_depth:int ->
+  ?buf_size:int ->
+  config:Opendesc.Context.assignment ->
+  Nic_models.Model.t ->
+  t
+
+val configure : t -> Opendesc.Context.assignment -> (unit, string) result
+(** Reprogram the queue context (the implicit control channel of the
+    paper's Figure 2). Outstanding completions keep the old layout;
+    callers normally drain first. *)
+
+val active_path : t -> Opendesc.Path.t
+
+val model : t -> Nic_models.Model.t
+
+val env : t -> Softnic.Feature.env
+(** The device's feature environment (its clock, flow marks, RSS key). *)
+
+val install_mark : t -> Packet.Fivetuple.t -> int32 -> unit
+(** Install an rte_flow-MARK-style rule: packets of this flow get the
+    mark in their [mark]-semantic completion field (0 otherwise). *)
+
+(** {1 Receive} *)
+
+val rx_inject : t -> Packet.Pkt.t -> bool
+(** Wire → device → host memory. False (and a drop counted) when the RX
+    or completion ring is full. *)
+
+val rx_available : t -> int
+
+val rx_consume : t -> (bytes * int * bytes) option
+(** Host side: next (packet buffer, packet length, completion record). *)
+
+(** {1 Transmit} *)
+
+val tx_format : t -> Opendesc.Descparser.t option
+(** The descriptor format the device currently parses (smallest by
+    default). *)
+
+val set_tx_format : t -> Opendesc.Descparser.t -> unit
+
+val tx_post : t -> bytes -> bool
+(** Host posts a raw TX descriptor. False when the ring is full. *)
+
+val tx_process : t -> fetch:(int64 -> Packet.Pkt.t option) -> int
+(** Device drains the TX ring: parses each descriptor with the active
+    format, fetches the buffer via [fetch] (keyed by the descriptor's
+    [buf_addr]), counts DMA for descriptor + packet reads. Returns the
+    number transmitted. *)
+
+(** {1 Accounting} *)
+
+val rx_count : t -> int
+
+val tx_count : t -> int
+
+val drops : t -> int
+
+val dma_bytes : t -> int
+(** Total device-side DMA traffic: packets + completions written,
+    descriptors + packets read. *)
+
+val reset_counters : t -> unit

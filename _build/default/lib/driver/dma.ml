@@ -1,0 +1,20 @@
+type t = { mem : bytes; mutable written : int; mutable read : int }
+
+let create n = { mem = Bytes.make n '\x00'; written = 0; read = 0 }
+let size t = Bytes.length t.mem
+let mem t = t.mem
+
+let dev_write t ~off src ~pos ~len =
+  Bytes.blit src pos t.mem off len;
+  t.written <- t.written + len
+
+let dev_read t ~off ~len =
+  t.read <- t.read + len;
+  Bytes.sub t.mem off len
+
+let dev_written_bytes t = t.written
+let dev_read_bytes t = t.read
+
+let reset_counters t =
+  t.written <- 0;
+  t.read <- 0

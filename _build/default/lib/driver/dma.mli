@@ -1,0 +1,28 @@
+(** Simulated DMA-shared memory with transfer accounting.
+
+    Host and device exchange data through these regions; every
+    device-side read or write is counted so experiments can report real
+    DMA footprints (bytes moved across the "PCIe bus" per packet) —
+    that's the second term of the paper's Eq. 1 measured rather than
+    assumed. *)
+
+type t
+
+val create : int -> t
+
+val size : t -> int
+
+val mem : t -> bytes
+(** Host-side view: reads/writes here are not counted. *)
+
+val dev_write : t -> off:int -> bytes -> pos:int -> len:int -> unit
+(** Device writes into host memory (counted). *)
+
+val dev_read : t -> off:int -> len:int -> bytes
+(** Device reads from host memory (counted). *)
+
+val dev_written_bytes : t -> int
+
+val dev_read_bytes : t -> int
+
+val reset_counters : t -> unit

@@ -1,0 +1,37 @@
+type t = { devices : Device.t array; key : Softnic.Toeplitz.key }
+
+let create ?queue_depth ~configs model =
+  if Array.length configs = 0 then Error "mq: at least one queue required"
+  else begin
+    let rec build i acc =
+      if i = Array.length configs then Ok (Array.of_list (List.rev acc))
+      else
+        match Device.create ?queue_depth ~config:configs.(i) (model ()) with
+        | Ok d -> build (i + 1) (d :: acc)
+        | Error e -> Error (Printf.sprintf "mq queue %d: %s" i e)
+    in
+    match build 0 [] with
+    | Error _ as e -> e
+    | Ok devices ->
+        (* All queue devices were created with the same default feature
+           environment key; steering shares it. *)
+        Ok { devices; key = (Device.env devices.(0)).rss_key }
+  end
+
+let create_exn ?queue_depth ~configs model =
+  match create ?queue_depth ~configs model with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let queues t = Array.length t.devices
+let queue t i = t.devices.(i)
+
+let steer t pkt =
+  let view = Packet.Pkt.parse pkt in
+  let hash = Softnic.Toeplitz.hash_pkt ~key:t.key pkt view in
+  if Int32.equal hash 0l then 0
+  else Int32.to_int (Int32.logand hash 0x7FFFFFFFl) mod Array.length t.devices
+
+let rx_inject t pkt = Device.rx_inject t.devices.(steer t pkt) pkt
+
+let rx_counts t = Array.map Device.rx_count t.devices

@@ -1,0 +1,41 @@
+(** Multi-queue devices with on-card RSS steering.
+
+    The paper (§3): "applications might use multiple OpenDesc instances
+    with different intents to obtain different queues tailored for
+    different kind[s] of traffic." A multi-queue device is an array of
+    independently-configured queues — each with its own completion layout
+    negotiated by its own compilation — behind one steering function: the
+    RSS hash of the flow picks the queue (hashless frames go to queue 0),
+    so a connection's packets always share a queue, RSS-style. *)
+
+type t
+
+val create :
+  ?queue_depth:int ->
+  configs:Opendesc.Context.assignment array ->
+  (unit -> Nic_models.Model.t) ->
+  (t, string) result
+(** One queue per config. [model] is a thunk because every queue gets its
+    own device instance of the same NIC (sharing the steering key). *)
+
+val create_exn :
+  ?queue_depth:int ->
+  configs:Opendesc.Context.assignment array ->
+  (unit -> Nic_models.Model.t) ->
+  t
+
+val queues : t -> int
+
+val queue : t -> int -> Device.t
+(** The underlying device of one queue (drain it with
+    {!Device.rx_consume}). *)
+
+val steer : t -> Packet.Pkt.t -> int
+(** The queue the steering function selects (Toeplitz over the flow,
+    modulo queue count; 0 for unhashable frames). *)
+
+val rx_inject : t -> Packet.Pkt.t -> bool
+(** Inject via the steering function. *)
+
+val rx_counts : t -> int array
+(** Packets delivered per queue. *)

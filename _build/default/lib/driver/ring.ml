@@ -1,0 +1,60 @@
+type t = {
+  dma : Dma.t;
+  slots : int;
+  slot_size : int;
+  mutable prod : int;  (** free-running producer index *)
+  mutable cons : int;  (** free-running consumer index *)
+}
+
+let create ~slots ~slot_size =
+  assert (slots > 0 && slots land (slots - 1) = 0);
+  { dma = Dma.create (slots * slot_size); slots; slot_size; prod = 0; cons = 0 }
+
+let slots t = t.slots
+let slot_size t = t.slot_size
+let dma t = t.dma
+let available t = t.prod - t.cons
+let space t = t.slots - available t
+let is_empty t = available t = 0
+let is_full t = space t = 0
+
+let off_of t idx = (idx land (t.slots - 1)) * t.slot_size
+
+let produce_dev t payload =
+  if is_full t then false
+  else begin
+    let len = min (Bytes.length payload) t.slot_size in
+    Dma.dev_write t.dma ~off:(off_of t t.prod) payload ~pos:0 ~len;
+    t.prod <- t.prod + 1;
+    true
+  end
+
+let produce_host t payload =
+  if is_full t then false
+  else begin
+    let len = min (Bytes.length payload) t.slot_size in
+    Bytes.blit payload 0 (Dma.mem t.dma) (off_of t t.prod) len;
+    t.prod <- t.prod + 1;
+    true
+  end
+
+let consume_host t =
+  if is_empty t then None
+  else begin
+    let b = Bytes.sub (Dma.mem t.dma) (off_of t t.cons) t.slot_size in
+    t.cons <- t.cons + 1;
+    Some b
+  end
+
+let consume_dev t =
+  if is_empty t then None
+  else begin
+    let b = Dma.dev_read t.dma ~off:(off_of t t.cons) ~len:t.slot_size in
+    t.cons <- t.cons + 1;
+    Some b
+  end
+
+let reset t =
+  t.prod <- 0;
+  t.cons <- 0;
+  Dma.reset_counters t.dma

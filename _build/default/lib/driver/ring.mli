@@ -1,0 +1,44 @@
+(** Fixed-slot descriptor rings over DMA memory.
+
+    The classic NIC coordination structure: a power-of-two array of
+    equal-size slots with a producer and a consumer index. Completion
+    rings have the device as producer; TX rings have the host as
+    producer. Indices use the standard free-running scheme (wrap at
+    2^62) so full/empty are unambiguous. *)
+
+type t
+
+val create : slots:int -> slot_size:int -> t
+(** [slots] must be a power of two. *)
+
+val slots : t -> int
+
+val slot_size : t -> int
+
+val dma : t -> Dma.t
+(** The backing region, for footprint accounting. *)
+
+val is_empty : t -> bool
+
+val is_full : t -> bool
+
+val available : t -> int
+(** Entries ready for the consumer. *)
+
+val space : t -> int
+(** Free slots for the producer. *)
+
+val produce_dev : t -> bytes -> bool
+(** Device writes the next slot (counted as DMA). False when full. *)
+
+val produce_host : t -> bytes -> bool
+(** Host writes the next slot (not counted). False when full. *)
+
+val consume_host : t -> bytes option
+(** Host reads the next slot (not counted; completions already crossed
+    the bus when the device produced them). *)
+
+val consume_dev : t -> bytes option
+(** Device reads the next slot (counted as DMA — TX descriptor fetch). *)
+
+val reset : t -> unit

@@ -1,0 +1,57 @@
+type rx = { pkt : bytes; len : int; cmpt : bytes }
+
+type t = {
+  st_name : string;
+  st_consume : Cost.t -> Softnic.Feature.env -> rx -> int64;
+}
+
+let parse_cost = 22.0
+
+let charge_ring ?(amortize = 1) ledger =
+  let f = float_of_int amortize in
+  Cost.charge ledger "ring" (Cost.K.ring_advance /. f);
+  Cost.charge ledger "refill" (Cost.K.refill /. f)
+
+let parse_view ledger buf len =
+  Cost.charge ledger "sw_parse" parse_cost;
+  let pkt = Packet.Pkt.sub buf ~len in
+  (pkt, Packet.Pkt.parse pkt)
+
+let charge_shim ledger env pkt view (f : Softnic.Feature.t) =
+  Cost.charge ledger ("soft_" ^ f.semantic) f.cost_cycles;
+  f.compute env pkt view
+
+let run ?(pkts = 4096) ?(batch = 32) ?(touch_payload = false) ~device ~workload stack =
+  Device.reset_counters device;
+  let ledger = Cost.create () in
+  let env = Softnic.Feature.make_env () in
+  let consumed = ref 0 in
+  let sink = ref 0L in
+  while !consumed < pkts do
+    let want = min batch (pkts - !consumed) in
+    for _ = 1 to want do
+      ignore (Device.rx_inject device (Packet.Workload.next workload))
+    done;
+    let rec drain () =
+      match Device.rx_consume device with
+      | None -> ()
+      | Some (pkt, len, cmpt) ->
+          sink := Int64.add !sink (stack.st_consume ledger env { pkt; len; cmpt });
+          if touch_payload then begin
+            Cost.charge ledger "payload"
+              (Cost.K.payload_touch_per_byte *. float_of_int len);
+            (* actually read the bytes so the cost models real work *)
+            let acc = ref 0 in
+            for i = 0 to len - 1 do
+              acc := !acc + Char.code (Bytes.get pkt i)
+            done;
+            sink := Int64.add !sink (Int64.of_int !acc)
+          end;
+          incr consumed;
+          drain ()
+    in
+    drain ()
+  done;
+  ignore !sink;
+  Stats.make ~name:stack.st_name ~pkts:!consumed ~ledger
+    ~dma_bytes:(Device.dma_bytes device) ~drops:(Device.drops device)

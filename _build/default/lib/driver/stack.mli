@@ -1,0 +1,51 @@
+(** Host-stack abstraction and the measurement harness.
+
+    A stack is a per-packet receive routine: given the raw packet bytes
+    and completion record the device delivered, consume the application's
+    requested metadata, charging its coordination costs to the ledger.
+    Different stacks embody the coordination models the paper surveys
+    (sk_buff extraction, DPDK mbuf + dynamic fields, XDP accessors,
+    ENSO-style streaming, generated OpenDesc accessors).
+
+    Stacks return a fold of the values they consumed; the harness checks
+    it against nothing but keeps it live so the work cannot be optimised
+    away and tests can compare stacks' answers. *)
+
+type rx = { pkt : bytes; len : int; cmpt : bytes }
+
+type t = {
+  st_name : string;
+  st_consume : Cost.t -> Softnic.Feature.env -> rx -> int64;
+}
+
+val run :
+  ?pkts:int ->
+  ?batch:int ->
+  ?touch_payload:bool ->
+  device:Device.t ->
+  workload:Packet.Workload.t ->
+  t ->
+  Stats.t
+(** Drive [pkts] packets (default 4096) through the device in batches
+    (default 32), consuming each with the stack. [touch_payload] charges
+    (and performs) a read of every payload byte — the application-side
+    work of forwarding/processing workloads. Ring housekeeping and buffer
+    refill are charged by each stack (streaming interfaces amortise
+    them; descriptor stacks pay per packet) via {!charge_ring}. *)
+
+val charge_ring : ?amortize:int -> Cost.t -> unit
+(** Per-packet ring advance + buffer refill, divided by the
+    amortisation factor (batched descriptor processing, multi-packet
+    notifications). *)
+
+val parse_view : Cost.t -> bytes -> int -> Packet.Pkt.t * Packet.Pkt.view
+(** Parse the packet, charging the standard software-parse cost. Helper
+    for stacks whose shims need a view. *)
+
+val charge_shim :
+  Cost.t -> Softnic.Feature.env -> Packet.Pkt.t -> Packet.Pkt.view ->
+  Softnic.Feature.t -> int64
+(** Run a software feature and charge its nominal cost. *)
+
+val parse_cost : float
+(** Cycles for one software packet parse (header walk). *)

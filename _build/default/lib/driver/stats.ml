@@ -1,0 +1,38 @@
+type t = {
+  name : string;
+  pkts : int;
+  cycles_per_pkt : float;
+  pps_m : float;
+  latency_ns : float;
+  dma_bytes_per_pkt : float;
+  drops : int;
+  breakdown : (string * float) list;
+}
+
+let make ~name ~pkts ~ledger ~dma_bytes ~drops =
+  let cycles_per_pkt = if pkts = 0 then 0.0 else Cost.total ledger /. float_of_int pkts in
+  {
+    name;
+    pkts;
+    cycles_per_pkt;
+    pps_m = (if cycles_per_pkt = 0.0 then 0.0 else Cost.pps_of_cycles cycles_per_pkt /. 1e6);
+    latency_ns = Cost.latency_ns_of_cycles cycles_per_pkt;
+    dma_bytes_per_pkt = (if pkts = 0 then 0.0 else float_of_int dma_bytes /. float_of_int pkts);
+    drops;
+    breakdown =
+      List.map
+        (fun (k, c) -> (k, if pkts = 0 then 0.0 else c /. float_of_int pkts))
+        (Cost.breakdown ledger);
+  }
+
+let pp_row ppf t =
+  Format.fprintf ppf "%-26s %8d %10.1f %8.2f %9.1f %10.1f %6d" t.name t.pkts
+    t.cycles_per_pkt t.pps_m t.latency_ns t.dma_bytes_per_pkt t.drops
+
+let pp_table ppf rows =
+  Format.fprintf ppf "@[<v>%-26s %8s %10s %8s %9s %10s %6s@," "stack" "pkts"
+    "cycles/pkt" "Mpps" "lat(ns)" "dmaB/pkt" "drops";
+  List.iter (fun r -> Format.fprintf ppf "%a@," pp_row r) rows;
+  Format.fprintf ppf "@]"
+
+let ratio a b = b.cycles_per_pkt /. a.cycles_per_pkt

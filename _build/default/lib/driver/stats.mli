@@ -1,0 +1,28 @@
+(** Experiment result records and table printing. *)
+
+type t = {
+  name : string;
+  pkts : int;
+  cycles_per_pkt : float;
+  pps_m : float;  (** million packets/second at the nominal clock *)
+  latency_ns : float;
+  dma_bytes_per_pkt : float;
+  drops : int;
+  breakdown : (string * float) list;  (** cycles by component, descending *)
+}
+
+val make :
+  name:string ->
+  pkts:int ->
+  ledger:Cost.t ->
+  dma_bytes:int ->
+  drops:int ->
+  t
+
+val pp_row : Format.formatter -> t -> unit
+
+val pp_table : Format.formatter -> t list -> unit
+(** Header + one row per entry. *)
+
+val ratio : t -> t -> float
+(** [ratio a b] = throughput of [a] over [b]. *)

@@ -1,0 +1,110 @@
+type mismatch = {
+  mm_semantic : string;
+  mm_expected : int64;
+  mm_got : int64;
+  mm_probe : string;
+}
+
+type report = {
+  probes : int;
+  checked : string list;
+  unchecked : string list;
+  mismatches : mismatch list;
+}
+
+let conforms r = r.mismatches = []
+
+(* Semantics whose value is not a pure function of the probe packet. *)
+let nondeterministic = [ "timestamp"; "wire_timestamp" ]
+
+let probe_workloads seed =
+  Packet.Workload.
+    [
+      make ~seed Min_size;
+      make ~seed:(Int64.add seed 1L) Vlan_tagged;
+      make ~seed:(Int64.add seed 2L) (Kvs { key_len = 9 });
+      make ~seed:(Int64.add seed 3L) Ipv6_mix;
+      make ~seed:(Int64.add seed 4L) Imix;
+      make ~seed:(Int64.add seed 5L) (Raw_stream { size = 96 });
+    ]
+
+let run ?(probes = 64) ~device ~(compiled : Opendesc.Compile.t) () =
+  let softnic = Softnic.Registry.builtin () in
+  (* Reference environment shares the device's RSS key so hashes are
+     comparable; everything else starts clean. *)
+  let ref_env = Softnic.Feature.make_env ~rss_key:(Device.env device).rss_key () in
+  (* Only hardware bindings are validated: software shims ARE the
+     reference. Hardware semantics without a deterministic reference are
+     reported unchecked. *)
+  let hardware =
+    List.filter
+      (fun (_, b) -> match b with Opendesc.Compile.Hardware _ -> true | _ -> false)
+      compiled.bindings
+  in
+  let checkable, unchecked =
+    List.partition
+      (fun (sem, _) ->
+        Softnic.Registry.mem softnic sem && not (List.mem sem nondeterministic))
+      hardware
+    |> fun (yes, no) -> (yes, List.map fst no)
+  in
+  let workloads = probe_workloads 4242L in
+  let mismatches = ref [] in
+  for i = 0 to probes - 1 do
+    let w = List.nth workloads (i mod List.length workloads) in
+    let pkt = Packet.Workload.next w in
+    (* every fifth probe carries a corrupted IPv4 checksum *)
+    let pkt =
+      if i mod 5 = 4 then Packet.Builder.corrupt_ipv4_checksum pkt else pkt
+    in
+    if Device.rx_inject device pkt then
+      match Device.rx_consume device with
+      | None -> ()
+      | Some (_, _, cmpt) ->
+          let view = Packet.Pkt.parse pkt in
+          List.iter
+            (fun (sem, binding) ->
+              match binding with
+              | Opendesc.Compile.Hardware (a : Opendesc.Accessor.t) ->
+                  let feature = Option.get (Softnic.Registry.find softnic sem) in
+                  let expected =
+                    Int64.logand
+                      (feature.compute ref_env pkt view)
+                      (Packet.Bitops.mask (min a.a_bits 64))
+                  in
+                  let got = a.a_get cmpt in
+                  if not (Int64.equal expected got) then
+                    mismatches :=
+                      {
+                        mm_semantic = sem;
+                        mm_expected = expected;
+                        mm_got = got;
+                        mm_probe = Packet.Bitops.hex_sub pkt.buf ~pos:0 ~len:(min pkt.len 48);
+                      }
+                      :: !mismatches
+              | Opendesc.Compile.Software _ -> ())
+            checkable
+  done;
+  {
+    probes;
+    checked = List.map fst checkable;
+    unchecked;
+    mismatches = List.rev !mismatches;
+  }
+
+let pp ppf r =
+  Format.fprintf ppf "@[<v>validation: %d probes, %d semantics checked%s@,"
+    r.probes (List.length r.checked)
+    (match r.unchecked with
+    | [] -> ""
+    | u -> Printf.sprintf " (unchecked: %s)" (String.concat "," u));
+  (match r.mismatches with
+  | [] -> Format.fprintf ppf "device conforms to its description@,"
+  | ms ->
+      List.iter
+        (fun m ->
+          Format.fprintf ppf "MISMATCH %s: expected 0x%Lx, device wrote 0x%Lx (probe %s...)@,"
+            m.mm_semantic m.mm_expected m.mm_got
+            (String.sub m.mm_probe 0 (min 24 (String.length m.mm_probe))))
+        ms);
+  Format.fprintf ppf "@]"

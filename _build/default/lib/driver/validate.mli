@@ -1,0 +1,39 @@
+(** Runtime conformance validation of a device against its description.
+
+    The paper (§1): with a declared contract, "software frameworks can
+    auto-generate parser code, {e validate NIC behavior}, and negotiate
+    features". This module is the validation half: drive probe packets
+    with known properties through a device and check that every
+    hardware-provided semantic read back through the compiled accessors
+    equals the reference software computation. A NIC whose silicon or
+    firmware disagrees with its shipped description is caught before the
+    application trusts a single field.
+
+    Semantics without a deterministic reference (timestamps, marks
+    requiring installed state) are skipped and reported as unchecked. *)
+
+type mismatch = {
+  mm_semantic : string;
+  mm_expected : int64;
+  mm_got : int64;
+  mm_probe : string;  (** hex of the offending probe packet *)
+}
+
+type report = {
+  probes : int;
+  checked : string list;  (** semantics verified on every probe *)
+  unchecked : string list;  (** no deterministic reference; not verified *)
+  mismatches : mismatch list;
+}
+
+val conforms : report -> bool
+(** No mismatches. *)
+
+val run :
+  ?probes:int -> device:Device.t -> compiled:Opendesc.Compile.t -> unit -> report
+(** Inject [probes] (default 64) varied packets — TCP/UDP/VLAN/IPv6/KVS/
+    raw, including corrupted checksums — and verify every checkable
+    hardware binding. The device must be configured with
+    [compiled.config]. *)
+
+val pp : Format.formatter -> report -> unit

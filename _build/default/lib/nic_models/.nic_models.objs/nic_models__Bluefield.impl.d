@@ -1,0 +1,1 @@
+lib/nic_models/bluefield.ml: Model Opendesc Printf

@@ -1,0 +1,1 @@
+lib/nic_models/bluefield.mli: Model

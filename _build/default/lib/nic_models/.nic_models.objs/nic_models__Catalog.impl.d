@@ -1,0 +1,1 @@
+lib/nic_models/catalog.ml: Bluefield E1000 Ice Ixgbe List Mlx5 Model Opendesc Qdma Virtio

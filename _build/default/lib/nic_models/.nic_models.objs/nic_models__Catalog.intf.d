@@ -1,0 +1,1 @@
+lib/nic_models/catalog.mli: Model Opendesc

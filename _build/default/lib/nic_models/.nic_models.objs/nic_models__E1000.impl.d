@@ -1,0 +1,1 @@
+lib/nic_models/e1000.ml: Model Opendesc

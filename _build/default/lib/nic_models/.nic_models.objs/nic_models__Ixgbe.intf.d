@@ -1,0 +1,1 @@
+lib/nic_models/ixgbe.mli: Model

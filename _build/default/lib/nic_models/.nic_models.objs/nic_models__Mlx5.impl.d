@@ -1,0 +1,1 @@
+lib/nic_models/mlx5.ml: Model Opendesc

@@ -1,0 +1,1 @@
+lib/nic_models/model.ml: Bytes Int64 List Opendesc Packet Softnic String

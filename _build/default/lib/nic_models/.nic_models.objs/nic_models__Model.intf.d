@@ -1,0 +1,1 @@
+lib/nic_models/model.mli: Opendesc Packet Softnic

@@ -1,0 +1,1 @@
+lib/nic_models/qdma.ml: Buffer List Model Opendesc Printf

@@ -1,0 +1,1 @@
+lib/nic_models/virtio.mli: Model

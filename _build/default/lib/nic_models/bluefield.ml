@@ -1,0 +1,80 @@
+let source_with_slot ~semantic ~width =
+  Printf.sprintf
+    {|
+/* BlueField-style partially-programmable NIC: base CQE plus one
+   programmable slot currently bound to %s by the installed
+   match-action pipeline. The compressed format drops everything but
+   hash and length. */
+header bf_ctx_t {
+  bit<1> compressed;
+  bit<1> slot_en;      /* programmable slot present in the completion */
+}
+
+header bf_tx_desc_t {
+  bit<32> ctrl;
+  @semantic("buf_addr") bit<64> addr;
+  bit<32> byte_count;
+}
+
+header bf_base_cmpt_t {
+  @semantic("rss")            bit<32> rx_hash;
+  @semantic("csum_ok")        bit<8>  csum_ok;
+  @semantic("l4_type")        bit<4>  l4_type;
+  @semantic("l3_type")        bit<4>  l3_type;
+  @semantic("vlan")           bit<16> vlan_info;
+  @semantic("pkt_len")        bit<32> byte_cnt;
+  @semantic("wire_timestamp") bit<64> timestamp;
+  bit<8> op_own;
+  bit<24> rsvd;
+}
+
+header bf_slot_cmpt_t {
+  @semantic("%s") bit<%d> slot_value;
+}
+
+header bf_mini_cmpt_t {
+  @semantic("rss")     bit<32> rx_hash;
+  @semantic("pkt_len") bit<32> byte_cnt;
+}
+
+struct bf_meta_t {
+  bf_base_cmpt_t base;
+  bf_slot_cmpt_t slot;
+  bf_mini_cmpt_t mini;
+}
+
+parser BfDescParser(desc_in d, in bf_ctx_t h2c_ctx, out bf_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser
+control BfCmptDeparser(cmpt_out o, in bf_ctx_t ctx,
+                       in bf_tx_desc_t desc_hdr, in bf_meta_t pipe_meta) {
+  apply {
+    if (ctx.compressed == 1) {
+      o.emit(pipe_meta.mini);
+    } else {
+      o.emit(pipe_meta.base);
+      if (ctx.slot_en == 1) {
+        o.emit(pipe_meta.slot);
+      }
+    }
+  }
+}
+|}
+    semantic semantic width
+
+let source = source_with_slot ~semantic:"kvs_key" ~width:64
+
+let model ?(slot = ("kvs_key", 64)) () =
+  let semantic, width = slot in
+  Model.make
+    (Opendesc.Nic_spec.load_exn
+       ~name:(Printf.sprintf "bluefield-%s" semantic)
+       ~kind:Opendesc.Nic_spec.Partially_programmable
+       ~notes:
+         (Printf.sprintf "base CQE + programmable MA-pipeline slot (%s)" semantic)
+       (source_with_slot ~semantic ~width))

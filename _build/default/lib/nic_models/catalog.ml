@@ -1,0 +1,18 @@
+let fig1_intent =
+  Opendesc.Intent.make ~name:"fig1_intent_t"
+    [ ("ip_checksum", 16); ("vlan", 16); ("rss", 32); ("kvs_key", 64) ]
+
+let all ?(intent = fig1_intent) () =
+  [
+    E1000.legacy ();
+    E1000.newer ();
+    Ixgbe.model ();
+    Mlx5.model ();
+    Bluefield.model ();
+    Qdma.model ~intent ();
+    Virtio.model ();
+    Ice.model ();
+  ]
+
+let find name models =
+  List.find_opt (fun (m : Model.t) -> m.spec.nic_name = name) models

@@ -1,0 +1,13 @@
+(** Every NIC model in one place, for sweeps across devices. *)
+
+val all : ?intent:Opendesc.Intent.t -> unit -> Model.t list
+(** [e1000-legacy; e1000-newer; ixgbe; mlx5; bluefield; qdma; virtio; ice].
+    The QDMA model is synthesized from [intent] (default: the Figure-1
+    intent). *)
+
+val fig1_intent : Opendesc.Intent.t
+(** The paper's Figure-1 scenario: checksum, decapsulated VLAN TCI, RSS
+    hash, and the key of a KVS request. *)
+
+val find : string -> Model.t list -> Model.t option
+(** Lookup by NIC name. *)

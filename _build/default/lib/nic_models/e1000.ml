@@ -1,0 +1,114 @@
+(* Layouts follow the 82540/82574 datasheet shapes at byte granularity:
+   a 16-byte TX/RX descriptor and an 8-byte writeback area. *)
+
+let legacy_source =
+  {|
+/* Intel e1000 legacy: one descriptor format, no configuration. */
+header e1000_nullctx_t { }
+
+header e1000_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cso;      /* checksum offset */
+  bit<8>  cmd;
+  bit<8>  sta;
+  bit<8>  css;      /* checksum start */
+  @semantic("vlan") bit<16> vlan;
+}
+
+header e1000_legacy_cmpt_t {
+  @semantic("pkt_len")     bit<16> length;
+  @semantic("ip_checksum") bit<16> csum;
+  bit<8> status;
+  bit<8> errors;
+  @semantic("vlan")        bit<16> vlan;
+}
+
+parser E1000DescParser(desc_in d, in e1000_nullctx_t h2c_ctx,
+                       out e1000_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser
+control E1000CmptDeparser(cmpt_out o, in e1000_nullctx_t c2h_ctx,
+                          in e1000_tx_desc_t desc_hdr,
+                          in e1000_legacy_cmpt_t pipe_meta) {
+  apply {
+    o.emit(pipe_meta);
+  }
+}
+|}
+
+let newer_source =
+  {|
+/* Intel e1000 "newer" parts: an RSS-capable writeback that reuses the
+   4-byte slot for either the flow hash or (ip_id, fragment checksum) —
+   the running example of the paper's Figure 6. */
+header e1000_ctx_t { bit<1> use_rss; }
+
+header e1000_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cso;
+  bit<8>  cmd;
+  bit<8>  sta;
+  bit<8>  css;
+  @semantic("vlan") bit<16> vlan;
+}
+
+header e1000_rss_cmpt_t {
+  @semantic("rss")     bit<32> rss_hash;
+  @semantic("pkt_len") bit<16> length;
+  bit<8> status;
+  bit<8> errors;
+}
+
+header e1000_csum_cmpt_t {
+  @semantic("ip_id")       bit<16> ip_id;
+  @semantic("ip_checksum") bit<16> csum;
+  @semantic("pkt_len")     bit<16> length;
+  bit<8> status;
+  bit<8> errors;
+}
+
+struct e1000_meta_t {
+  e1000_rss_cmpt_t  rss;
+  e1000_csum_cmpt_t legacy;
+}
+
+parser E1000DescParser(desc_in d, in e1000_ctx_t h2c_ctx,
+                       out e1000_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser
+control E1000CmptDeparser(cmpt_out o, in e1000_ctx_t ctx,
+                          in e1000_tx_desc_t desc_hdr,
+                          in e1000_meta_t pipe_meta) {
+  apply {
+    if (ctx.use_rss == 1) {
+      o.emit(pipe_meta.rss);
+    } else {
+      o.emit(pipe_meta.legacy);
+    }
+  }
+}
+|}
+
+let legacy () =
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"e1000-legacy"
+       ~kind:Opendesc.Nic_spec.Fixed_function
+       ~notes:"single fixed completion; computed IP checksum only" legacy_source)
+
+let newer () =
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"e1000-newer"
+       ~kind:Opendesc.Nic_spec.Fixed_function
+       ~notes:"RSS hash or ip_id+checksum, selected per queue (Fig. 6)" newer_source)

@@ -1,0 +1,16 @@
+(** Intel e1000-family models.
+
+    Two generations, as the paper describes (§2): the early parts wrote a
+    single fixed completion carrying the computed IP checksum; the later
+    parts added an RSS mode where the same 4 bytes carry the flow hash
+    instead — the running example of Figure 6. *)
+
+val legacy_source : string
+(** P4 description of the single-layout legacy part. *)
+
+val newer_source : string
+(** P4 description of the two-layout part (Figure 6's deparser). *)
+
+val legacy : unit -> Model.t
+
+val newer : unit -> Model.t

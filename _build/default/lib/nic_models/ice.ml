@@ -1,0 +1,80 @@
+let source =
+  {|
+/* Intel E810 (ice): legacy writeback or one of the Flexible Descriptor
+   profiles programmed via the DDP package. Profile ids follow the
+   datasheet's RXDID convention loosely: 1 = legacy, 2 = flex generic,
+   4 = flex with timestamps. */
+header ice_ctx_t {
+  @values(1, 2, 4) bit<3> rxdid;
+}
+
+header ice_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  @semantic("tx_len")   bit<16> len;
+  bit<8>  cmd;
+  @semantic("tx_l4_csum") bit<1> ol_csum;
+  bit<7>  rsvd;
+  @semantic("vlan")     bit<16> l2tag1;
+  bit<16> pad;
+}
+
+header ice_legacy_cmpt_t {
+  @semantic("pkt_len")  bit<16> length;
+  @semantic("ip_checksum") bit<16> frag_csum;
+  bit<16> status_err;
+  @semantic("vlan")     bit<16> l2tag1;
+}
+
+header ice_flex_generic_cmpt_t {
+  bit<8>  rxdid_echo;
+  @semantic("l3_type")  bit<4>  l3_type;
+  @semantic("l4_type")  bit<4>  l4_type;
+  @semantic("pkt_len")  bit<16> length;
+  @semantic("rss")      bit<32> rss_hash;
+  @semantic("flow_id")  bit<32> flow_id;
+  @semantic("vlan")     bit<16> l2tag1;
+  @semantic("csum_ok")  bit<8>  xsum_status;
+  bit<8>  status;
+}
+
+header ice_flex_tstamp_cmpt_t {
+  bit<8>  rxdid_echo;
+  bit<8>  status;
+  @semantic("pkt_len")  bit<16> length;
+  @semantic("rss")      bit<32> rss_hash;
+  @semantic("wire_timestamp") bit<64> tstamp;
+}
+
+struct ice_meta_t {
+  ice_legacy_cmpt_t       legacy;
+  ice_flex_generic_cmpt_t generic;
+  ice_flex_tstamp_cmpt_t  tstamp;
+}
+
+parser IceDescParser(desc_in d, in ice_ctx_t h2c_ctx, out ice_tx_desc_t desc_hdr) {
+  state start { d.extract(desc_hdr); transition accept; }
+}
+
+@cmpt_deparser
+control IceCmptDeparser(cmpt_out o, in ice_ctx_t ctx,
+                        in ice_tx_desc_t desc_hdr, in ice_meta_t pipe_meta) {
+  apply {
+    if (ctx.rxdid == 1) {
+      o.emit(pipe_meta.legacy);
+    } else {
+      if (ctx.rxdid == 2) {
+        o.emit(pipe_meta.generic);
+      } else {
+        o.emit(pipe_meta.tstamp);
+      }
+    }
+  }
+}
+|}
+
+let model () =
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"ice-e810"
+       ~kind:Opendesc.Nic_spec.Partially_programmable
+       ~notes:"Flexible Descriptor profiles (DDP), selected per queue via RXDID"
+       source)

@@ -1,0 +1,13 @@
+(** Intel E810 (ice)-style model: Flexible Descriptors.
+
+    The E810 is the shipping counter-example to "descriptor layouts are
+    fixed": its receive descriptor has programmable metadata slots filled
+    according to a selected {e flexible descriptor profile} (DDP
+    package). We model the legacy 16-byte writeback plus two flex
+    profiles — the default one (hash + flow id) and a timestamp-oriented
+    one — selected by a 2-bit profile context with @values. Exactly the
+    per-queue layout negotiation OpenDesc generalises. *)
+
+val source : string
+
+val model : unit -> Model.t

@@ -1,0 +1,113 @@
+let source =
+  {|
+/* Intel 82599 (ixgbe): legacy or advanced descriptor mode per ring
+   (SRRCTL.DESCTYPE), and within advanced mode the 4-byte dword either
+   holds the RSS hash (RXCSUM.PCSD=1) or fragment checksum + IP id. */
+header ixgbe_ctx_t {
+  bit<1> desctype;   /* 0 = legacy, 1 = advanced */
+  bit<1> pcsd;       /* advanced: 1 = RSS hash, 0 = csum + ip_id */
+}
+
+header ixgbe_tx_legacy_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cso;
+  bit<8>  cmd;
+  bit<8>  sta;
+  bit<8>  css;
+  @semantic("vlan") bit<16> vlan;
+}
+
+header ixgbe_tx_adv_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  @semantic("tx_l4_csum") bit<1> ol_csum;
+  bit<7>  dcmd;
+  @semantic("tso_mss") bit<16> mss;
+  @semantic("vlan") bit<16> vlan;
+  bit<8>  pad;
+}
+
+struct ixgbe_tx_desc_t {
+  ixgbe_tx_legacy_t legacy;
+  ixgbe_tx_adv_t    adv;
+}
+
+header ixgbe_legacy_cmpt_t {
+  @semantic("pkt_len")     bit<16> length;
+  @semantic("ip_checksum") bit<16> frag_csum;
+  bit<8> status;
+  bit<8> errors;
+  @semantic("vlan")        bit<16> vlan;
+}
+
+header ixgbe_adv_rss_cmpt_t {
+  @semantic("l3_type")  bit<4>  l3_type;
+  @semantic("l4_type")  bit<4>  l4_type;
+  bit<8>  hdr_len;
+  @semantic("rss_type") bit<8>  rss_type;
+  bit<8>  sph;
+  @semantic("rss")      bit<32> rss_hash;
+  bit<16> status;
+  bit<8>  errors;
+  @semantic("csum_ok")  bit<8>  csum_ok;
+  @semantic("pkt_len")  bit<16> length;
+  @semantic("vlan")     bit<16> vlan;
+}
+
+header ixgbe_adv_csum_cmpt_t {
+  @semantic("l3_type")  bit<4>  l3_type;
+  @semantic("l4_type")  bit<4>  l4_type;
+  bit<8>  hdr_len;
+  @semantic("rss_type") bit<8>  rss_type;
+  bit<8>  sph;
+  @semantic("ip_checksum") bit<16> frag_csum;
+  @semantic("ip_id")       bit<16> ip_id;
+  bit<16> status;
+  bit<8>  errors;
+  @semantic("csum_ok")  bit<8>  csum_ok;
+  @semantic("pkt_len")  bit<16> length;
+  @semantic("vlan")     bit<16> vlan;
+}
+
+struct ixgbe_meta_t {
+  ixgbe_legacy_cmpt_t   legacy;
+  ixgbe_adv_rss_cmpt_t  adv_rss;
+  ixgbe_adv_csum_cmpt_t adv_csum;
+}
+
+parser IxgbeDescParser(desc_in d, in ixgbe_ctx_t h2c_ctx,
+                       out ixgbe_tx_desc_t desc_hdr) {
+  state start {
+    transition select(h2c_ctx.desctype) {
+      0: legacy;
+      1: advanced;
+    }
+  }
+  state legacy { d.extract(desc_hdr.legacy); transition accept; }
+  state advanced { d.extract(desc_hdr.adv); transition accept; }
+}
+
+@cmpt_deparser
+control IxgbeCmptDeparser(cmpt_out o, in ixgbe_ctx_t ctx,
+                          in ixgbe_tx_desc_t desc_hdr,
+                          in ixgbe_meta_t pipe_meta) {
+  apply {
+    if (ctx.desctype == 0) {
+      o.emit(pipe_meta.legacy);
+    } else {
+      if (ctx.pcsd == 1) {
+        o.emit(pipe_meta.adv_rss);
+      } else {
+        o.emit(pipe_meta.adv_csum);
+      }
+    }
+  }
+}
+|}
+
+let model () =
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"ixgbe-82599"
+       ~kind:Opendesc.Nic_spec.Fixed_function
+       ~notes:"legacy/advanced writeback; RSS and checksum are exclusive" source)

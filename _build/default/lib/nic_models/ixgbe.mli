@@ -1,0 +1,12 @@
+(** Intel 82599/ixgbe-style model.
+
+    The advanced receive writeback descriptor: a 4-byte slot that carries
+    either the RSS hash or (fragment checksum, IP identification)
+    depending on the RXCSUM.PCSD configuration bit, plus VLAN tag, packet
+    length, packet-type bits and status — and a legacy descriptor mode
+    selected per ring (SRRCTL.DESCTYPE). Three completion layouts in
+    total. *)
+
+val source : string
+
+val model : unit -> Model.t

@@ -1,0 +1,63 @@
+let sizes = [ 8; 16; 32; 64 ]
+
+(* Pack intent fields greedily into [size_bytes], padding the remainder. *)
+let pack_fields (intent : Opendesc.Intent.t) size_bytes =
+  let budget = size_bytes * 8 in
+  let used, fields =
+    List.fold_left
+      (fun (used, acc) (f : Opendesc.Intent.field) ->
+        if used + f.if_width <= budget then (used + f.if_width, f :: acc)
+        else (used, acc))
+      (0, []) intent.fields
+  in
+  (List.rev fields, budget - used)
+
+let synthesize_source (intent : Opendesc.Intent.t) _registry =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "/* QDMA interface description synthesized from intent %s. */\n" intent.name;
+  add "header qdma_ctx_t {\n  @values(0, 1, 2, 3) bit<2> cmpt_fmt;\n}\n\n";
+  add "header qdma_tx_desc_t {\n";
+  add "  @semantic(\"buf_addr\") bit<64> addr;\n";
+  add "  bit<16> length;\n  bit<16> flags;\n}\n\n";
+  List.iteri
+    (fun i size ->
+      let fields, pad_bits = pack_fields intent size in
+      add "header qdma_cmpt%d_t {\n" size;
+      List.iter
+        (fun (f : Opendesc.Intent.field) ->
+          add "  @semantic(%S) bit<%d> %s;\n" f.if_semantic f.if_width f.if_name)
+        fields;
+      if pad_bits > 0 then add "  bit<%d> pad;\n" pad_bits;
+      add "}\n\n";
+      ignore i)
+    sizes;
+  add "struct qdma_meta_t {\n";
+  List.iter (fun size -> add "  qdma_cmpt%d_t fmt%d;\n" size size) sizes;
+  add "}\n\n";
+  add
+    "parser QdmaDescParser(desc_in d, in qdma_ctx_t h2c_ctx, out qdma_tx_desc_t \
+     desc_hdr) {\n";
+  add "  state start {\n    d.extract(desc_hdr);\n    transition accept;\n  }\n}\n\n";
+  add "@cmpt_deparser\n";
+  add
+    "control QdmaCmptDeparser(cmpt_out o, in qdma_ctx_t ctx, in qdma_tx_desc_t \
+     desc_hdr, in qdma_meta_t pipe_meta) {\n";
+  add "  apply {\n";
+  List.iteri
+    (fun i size ->
+      let kw = if i = 0 then "if" else "} else if" in
+      add "    %s (ctx.cmpt_fmt == %d) {\n      o.emit(pipe_meta.fmt%d);\n" kw i size)
+    sizes;
+  add "    }\n  }\n}\n";
+  Buffer.contents buf
+
+let model ~intent ?registry () =
+  let registry =
+    match registry with Some r -> r | None -> Opendesc.Semantic.default ()
+  in
+  let src = synthesize_source intent registry in
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"qdma-programmable"
+       ~kind:Opendesc.Nic_spec.Fully_programmable
+       ~notes:"user-defined 8/16/32/64B completions synthesized from the intent" src)

@@ -1,0 +1,24 @@
+(** Xilinx/AMD QDMA-style fully-programmable model.
+
+    QDMA completions are user-defined records of 8, 16, 32, or 64 bytes
+    per installed queue; the FPGA logic decides their content. The model
+    therefore {e synthesizes} its interface description from the
+    application's intent: for each completion size, pack as many intent
+    fields as fit (greedy, in intent order, padding to the size), and
+    expose a context selecting among the sizes. The OpenDesc compiler
+    then runs unchanged on the synthesized description — fully
+    programmable NICs are just NICs whose description is generated
+    rather than shipped. *)
+
+val sizes : int list
+(** [8; 16; 32; 64] bytes. *)
+
+val synthesize_source : Opendesc.Intent.t -> Opendesc.Semantic.t -> string
+(** Generate the description for an intent. Field widths come from the
+    intent; semantics the hardware cannot compute (unknown to the
+    registry) are still packable — the FPGA user logic is assumed to
+    implement every semantic the application declared (the paper's
+    "missing features ... pushed to the programmable pipeline"). *)
+
+val model : intent:Opendesc.Intent.t -> ?registry:Opendesc.Semantic.t -> unit -> Model.t
+(** Synthesized model for this intent. *)

@@ -1,0 +1,69 @@
+let source =
+  {|
+/* virtio-net: per-packet metadata as a buffer-prefix header. The layout
+   is negotiated at feature time: classic 12-byte header, or the
+   extended header with hash report (VIRTIO_NET_F_HASH_REPORT). */
+header virtio_ctx_t {
+  bit<1> hash_report;   /* negotiated VIRTIO_NET_F_HASH_REPORT */
+}
+
+header virtio_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  @semantic("tx_len")   bit<32> length;
+  bit<16> flags;
+  bit<16> next;
+}
+
+header virtio_net_hdr_t {
+  @semantic("csum_ok")     bit<8>  hdr_flags;     /* NEEDS_CSUM/DATA_VALID */
+  bit<8>  gso_type;
+  bit<16> hdr_len;
+  @semantic("tso_mss")     bit<16> gso_size;
+  bit<16> csum_start;
+  bit<16> csum_offset;
+  @semantic("lro_num_seg") bit<16> num_buffers;
+}
+
+header virtio_net_hdr_hash_t {
+  @semantic("csum_ok")     bit<8>  hdr_flags;
+  bit<8>  gso_type;
+  bit<16> hdr_len;
+  @semantic("tso_mss")     bit<16> gso_size;
+  bit<16> csum_start;
+  bit<16> csum_offset;
+  @semantic("lro_num_seg") bit<16> num_buffers;
+  @semantic("rss")         bit<32> hash_value;
+  @semantic("rss_type")    bit<16> hash_report;
+  bit<16> padding;
+}
+
+struct virtio_meta_t {
+  virtio_net_hdr_t      classic;
+  virtio_net_hdr_hash_t hashed;
+}
+
+parser VirtioDescParser(desc_in d, in virtio_ctx_t h2c_ctx,
+                        out virtio_tx_desc_t desc_hdr) {
+  state start { d.extract(desc_hdr); transition accept; }
+}
+
+@cmpt_deparser
+control VirtioCmptDeparser(cmpt_out o, in virtio_ctx_t ctx,
+                           in virtio_tx_desc_t desc_hdr,
+                           in virtio_meta_t pipe_meta) {
+  apply {
+    if (ctx.hash_report == 1) {
+      o.emit(pipe_meta.hashed);
+    } else {
+      o.emit(pipe_meta.classic);
+    }
+  }
+}
+|}
+
+let model () =
+  Model.make
+    (Opendesc.Nic_spec.load_exn ~name:"virtio-net"
+       ~kind:Opendesc.Nic_spec.Fixed_function
+       ~notes:"paravirtual; metadata as a buffer-prefix header, feature-negotiated"
+       source)

@@ -1,0 +1,16 @@
+(** virtio-net-style paravirtual model.
+
+    A different coordination shape from hardware completion rings: the
+    per-packet metadata travels as a {e prefix header} in the packet
+    buffer itself ([struct virtio_net_hdr]). In OpenDesc terms that is
+    still a completion path — bytes the device emits, described in P4 —
+    which is exactly the unification the paper argues for: the compiler
+    does not care whether the record lives in a completion ring or ahead
+    of the payload.
+
+    Two layouts, negotiated like virtio features: the classic header and
+    the extended one with hash report (VIRTIO_NET_F_HASH_REPORT). *)
+
+val source : string
+
+val model : unit -> Model.t

@@ -1,0 +1,1 @@
+lib/opendesc/accessor.ml: Bytes Char Int64 List Packet Path

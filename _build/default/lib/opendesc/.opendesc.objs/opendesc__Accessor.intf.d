@@ -1,0 +1,1 @@
+lib/opendesc/accessor.mli: Path

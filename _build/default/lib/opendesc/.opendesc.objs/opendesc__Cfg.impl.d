@@ -1,0 +1,1 @@
+lib/opendesc/cfg.ml: Buffer Format List P4 Printf String

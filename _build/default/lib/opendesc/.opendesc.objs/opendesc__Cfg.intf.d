@@ -1,0 +1,1 @@
+lib/opendesc/cfg.mli: Format P4

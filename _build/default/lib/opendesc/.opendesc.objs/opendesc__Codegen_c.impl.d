@@ -1,0 +1,1 @@
+lib/opendesc/codegen_c.ml: Buffer Descparser List Path Printf String

@@ -1,0 +1,1 @@
+lib/opendesc/codegen_c.mli: Context Descparser Path

@@ -1,0 +1,1 @@
+lib/opendesc/codegen_ebpf.ml: Buffer Codegen_c List Path Printf

@@ -1,0 +1,1 @@
+lib/opendesc/codegen_ebpf.mli: Path

@@ -1,0 +1,1 @@
+lib/opendesc/compile.ml: Accessor Codegen_c Codegen_ebpf Context Descparser Intent List Nic_spec Path Printf Select Semantic Softnic

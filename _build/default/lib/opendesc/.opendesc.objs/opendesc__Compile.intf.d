@@ -1,0 +1,1 @@
+lib/opendesc/compile.mli: Accessor Context Descparser Intent Nic_spec Path Select Semantic Softnic

@@ -1,0 +1,1 @@
+lib/opendesc/context.ml: Format Int64 List P4 Printf String

@@ -1,0 +1,1 @@
+lib/opendesc/context.mli: Format P4

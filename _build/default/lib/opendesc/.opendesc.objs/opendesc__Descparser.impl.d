@@ -1,0 +1,1 @@
+lib/opendesc/descparser.ml: Context Format Hashtbl Int64 List P4 Path Printf String

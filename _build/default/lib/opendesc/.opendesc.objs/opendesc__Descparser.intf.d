@@ -1,0 +1,1 @@
+lib/opendesc/descparser.mli: Context Format P4 Path

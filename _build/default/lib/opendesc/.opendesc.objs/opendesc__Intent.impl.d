@@ -1,0 +1,1 @@
+lib/opendesc/intent.ml: Buffer Format Int64 List P4 Prelude Printf Semantic String

@@ -1,0 +1,1 @@
+lib/opendesc/intent.mli: Format P4 Semantic

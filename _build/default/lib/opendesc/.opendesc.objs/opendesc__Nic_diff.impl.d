@@ -1,0 +1,1 @@
+lib/opendesc/nic_diff.ml: Descparser Format Hashtbl List Nic_spec Path Stdlib String

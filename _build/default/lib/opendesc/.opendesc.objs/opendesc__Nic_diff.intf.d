@@ -1,0 +1,1 @@
+lib/opendesc/nic_diff.mli: Format Nic_spec Path

@@ -1,0 +1,1 @@
+lib/opendesc/nic_spec.ml: Cfg Context Descparser Format List P4 Path Prelude Printf Semantic String

@@ -1,0 +1,1 @@
+lib/opendesc/nic_spec.mli: Cfg Descparser Format P4 Path Semantic

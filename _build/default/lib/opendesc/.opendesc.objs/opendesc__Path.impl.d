@@ -1,0 +1,1 @@
+lib/opendesc/path.ml: Cfg Context Format Hashtbl List Option P4 Printf String

@@ -1,0 +1,1 @@
+lib/opendesc/path.mli: Context Format P4

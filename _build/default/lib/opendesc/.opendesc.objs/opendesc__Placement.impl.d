@@ -1,0 +1,1 @@
+lib/opendesc/placement.ml: Float Intent List Nic_spec Path Select Semantic

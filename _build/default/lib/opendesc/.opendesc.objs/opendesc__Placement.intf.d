@@ -1,0 +1,1 @@
+lib/opendesc/placement.mli: Intent Nic_spec Path Select Semantic

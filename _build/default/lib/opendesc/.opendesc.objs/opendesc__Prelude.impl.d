@@ -1,0 +1,1 @@
+lib/opendesc/prelude.ml: List P4 Printf String

@@ -1,0 +1,1 @@
+lib/opendesc/prelude.mli: P4

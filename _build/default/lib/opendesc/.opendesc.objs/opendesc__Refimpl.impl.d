@@ -1,0 +1,1 @@
+lib/opendesc/refimpl.ml: Float Int64 Lazy List P4 Packet Prelude Printf Semantic Softnic

@@ -1,0 +1,1 @@
+lib/opendesc/refimpl.mli: P4 Packet Softnic

@@ -1,0 +1,1 @@
+lib/opendesc/report.ml: Compile Context Descparser Float Format Intent List Nic_spec Path Printf Select String

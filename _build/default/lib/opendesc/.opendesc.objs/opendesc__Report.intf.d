@@ -1,0 +1,1 @@
+lib/opendesc/report.mli: Compile Format Nic_spec

@@ -1,0 +1,1 @@
+lib/opendesc/select.ml: Float Intent List Path Printf Semantic String

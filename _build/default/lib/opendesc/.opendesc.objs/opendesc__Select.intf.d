@@ -1,0 +1,1 @@
+lib/opendesc/select.mli: Intent Path Semantic

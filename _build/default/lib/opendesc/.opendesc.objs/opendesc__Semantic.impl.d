@@ -1,0 +1,1 @@
+lib/opendesc/semantic.ml: Hashtbl List Softnic String

@@ -1,0 +1,1 @@
+lib/opendesc/semantic.mli: Softnic

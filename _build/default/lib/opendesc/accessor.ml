@@ -1,0 +1,65 @@
+type t = {
+  a_name : string;
+  a_header : string;
+  a_semantic : string option;
+  a_bit_off : int;
+  a_bits : int;
+  a_get : bytes -> int64;
+}
+
+let of_int32 v = Int64.logand (Int64.of_int32 v) 0xFFFFFFFFL
+
+(* Specialised closures for the common shapes; the device writer uses the
+   same MSB-first convention, so reads and writes always agree. *)
+let reader_fn ~bit_off ~bits =
+  if bits > 64 then fun _ -> 0L (* reserved/padding blobs exceed an int64 *)
+  else if bit_off mod 8 = 0 then begin
+    let byte = bit_off / 8 in
+    match bits with
+    | 8 -> fun b -> Int64.of_int (Char.code (Bytes.get b byte))
+    | 16 -> fun b -> Int64.of_int (Bytes.get_uint16_be b byte)
+    | 32 -> fun b -> of_int32 (Bytes.get_int32_be b byte)
+    | 64 -> fun b -> Bytes.get_int64_be b byte
+    | _ -> fun b -> Packet.Bitops.get_bits b ~bit_off ~width:bits
+  end
+  else fun b -> Packet.Bitops.get_bits b ~bit_off ~width:bits
+
+let reader ~bit_off ~bits b = (reader_fn ~bit_off ~bits) b
+
+let writer ~bit_off ~bits =
+  if bits > 64 then fun _ _ -> () (* reserved/padding blobs stay zero *)
+  else if bit_off mod 8 = 0 then begin
+    let byte = bit_off / 8 in
+    match bits with
+    | 8 -> fun b v -> Bytes.set b byte (Char.chr (Int64.to_int v land 0xff))
+    | 16 -> fun b v -> Bytes.set_uint16_be b byte (Int64.to_int v land 0xffff)
+    | 32 -> fun b v -> Bytes.set_int32_be b byte (Int64.to_int32 v)
+    | 64 -> fun b v -> Bytes.set_int64_be b byte v
+    | _ -> fun b v -> Packet.Bitops.set_bits b ~bit_off ~width:bits v
+  end
+  else fun b v -> Packet.Bitops.set_bits b ~bit_off ~width:bits v
+
+let of_lfield (f : Path.lfield) =
+  {
+    a_name = f.l_name;
+    a_header = f.l_header;
+    a_semantic = f.l_semantic;
+    a_bit_off = f.l_bit_off;
+    a_bits = f.l_bits;
+    a_get = reader_fn ~bit_off:f.l_bit_off ~bits:f.l_bits;
+  }
+
+let of_layout (l : Path.layout) = List.map of_lfield l.fields
+
+let read_all (l : Path.layout) b =
+  List.map
+    (fun (f : Path.lfield) ->
+      (f.l_name, reader ~bit_off:f.l_bit_off ~bits:f.l_bits b))
+    l.fields
+
+let write_record (l : Path.layout) b resolve =
+  assert (Bytes.length b >= l.size_bytes);
+  List.iter
+    (fun (f : Path.lfield) ->
+      (writer ~bit_off:f.l_bit_off ~bits:f.l_bits) b (resolve f))
+    l.fields

@@ -1,0 +1,39 @@
+(** Constant-time accessors over completion records (§4 step 4).
+
+    An accessor reads one field's bit slice at a fixed offset — the OCaml
+    equivalent of the C/eBPF stubs the compiler emits (see {!Codegen_c}
+    and {!Codegen_ebpf}). Byte-aligned power-of-two widths compile to
+    single loads; everything else goes through the generic bit reader.
+
+    The same layout drives the {e writer} side, which the simulated
+    devices use to serialise completions — guaranteeing by construction
+    that device and host agree on the layout (the paper's "semantic
+    alignment"). *)
+
+type t = {
+  a_name : string;  (** field name *)
+  a_header : string;
+  a_semantic : string option;
+  a_bit_off : int;
+  a_bits : int;
+  a_get : bytes -> int64;
+}
+
+val reader : bit_off:int -> bits:int -> bytes -> int64
+(** Generic MSB-first field read (specialised fast paths inside).
+    Fields wider than 64 bits — reserved/padding blobs in real
+    descriptors — read as 0 and write as a no-op. *)
+
+val writer : bit_off:int -> bits:int -> bytes -> int64 -> unit
+
+val of_lfield : Path.lfield -> t
+
+val of_layout : Path.layout -> t list
+(** One accessor per field. *)
+
+val read_all : Path.layout -> bytes -> (string * int64) list
+(** Field name → value for a whole record (diagnostics). *)
+
+val write_record : Path.layout -> bytes -> (Path.lfield -> int64) -> unit
+(** Fill a completion record: calls the resolver for every field. The
+    buffer must be at least [layout.size_bytes] long. *)

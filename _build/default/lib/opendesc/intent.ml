@@ -1,0 +1,114 @@
+type field = { if_name : string; if_semantic : string; if_width : int }
+
+type t = { name : string; fields : field list }
+
+let required t = List.map (fun f -> f.if_semantic) t.fields
+
+let make ?(name = "intent_t") semantics =
+  {
+    name;
+    fields =
+      List.map (fun (s, w) -> { if_name = s; if_semantic = s; if_width = w }) semantics;
+  }
+
+let of_header (h : P4.Typecheck.header_def) =
+  {
+    name = h.h_name;
+    fields =
+      List.filter_map
+        (fun (f : P4.Typecheck.field) ->
+          match f.f_semantic with
+          | Some s -> Some { if_name = f.f_name; if_semantic = s; if_width = f.f_bits }
+          | None -> None)
+        h.h_fields;
+  }
+
+let has_intent_annotation (h : P4.Typecheck.header_def) =
+  List.exists (fun (a : P4.Ast.annotation) -> a.aname = "intent") h.h_annots
+
+let of_program ?header tenv =
+  match header with
+  | Some name -> (
+      match P4.Typecheck.find_header tenv name with
+      | Some h -> Ok (of_header h)
+      | None -> Error (Printf.sprintf "no header named %s" name))
+  | None -> (
+      let headers = P4.Typecheck.headers tenv in
+      match List.filter has_intent_annotation headers with
+      | [ h ] -> Ok (of_header h)
+      | _ :: _ :: _ -> Error "multiple @intent headers; name one explicitly"
+      | [] -> (
+          let by_name =
+            List.filter
+              (fun (h : P4.Typecheck.header_def) ->
+                let lower = String.lowercase_ascii h.h_name in
+                (* contains "intent" *)
+                let rec contains i =
+                  i + 6 <= String.length lower && (String.sub lower i 6 = "intent" || contains (i + 1))
+                in
+                contains 0)
+              headers
+          in
+          match by_name with
+          | [ h ] -> Ok (of_header h)
+          | [] -> Error "no intent header found (tag one with @intent)"
+          | _ -> Error "multiple intent-like headers; tag one with @intent"))
+
+let of_source ?header src =
+  match Prelude.check_result src with
+  | Error e -> Error e
+  | Ok tenv -> of_program ?header tenv
+
+let cost_of_field (f : P4.Typecheck.field) =
+  match P4.Ast.find_annotation "cost" f.f_annots with
+  | None -> None
+  | Some a -> (
+      match a.args with
+      | [ P4.Ast.AInt c ] -> Some (Int64.to_float c)
+      | [ P4.Ast.AIdent ("inf" | "infinity") ] -> Some infinity
+      | [ P4.Ast.AString s ] -> float_of_string_opt s
+      | _ -> None)
+
+let register_custom_semantics registry (h : P4.Typecheck.header_def) =
+  let rec go = function
+    | [] -> Ok ()
+    | (f : P4.Typecheck.field) :: rest -> (
+        match f.f_semantic with
+        | None -> go rest
+        | Some s when Semantic.mem registry s -> go rest
+        | Some s -> (
+            match cost_of_field f with
+            | Some c ->
+                Semantic.register registry
+                  {
+                    Semantic.name = s;
+                    width_bits = f.f_bits;
+                    sw_cost = c;
+                    descr = Printf.sprintf "custom semantic from intent %s" h.h_name;
+                  };
+                go rest
+            | None ->
+                Error
+                  (Printf.sprintf
+                     "intent field %s declares unknown semantic %S without @cost"
+                     f.f_name s)))
+  in
+  go h.h_fields
+
+let to_p4 t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf (Printf.sprintf "@intent\nheader %s {\n" t.name);
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Printf.sprintf "  @semantic(%S) bit<%d> %s;\n" f.if_semantic f.if_width f.if_name))
+    t.fields;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp ppf t =
+  Format.fprintf ppf "intent %s {%a}" t.name
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+       (fun ppf f -> Format.fprintf ppf "%s:%d" f.if_semantic f.if_width))
+    t.fields

@@ -1,0 +1,38 @@
+(** Diffing two revisions of a NIC description.
+
+    The paper's opening pain point: "the layout may change with firmware
+    updates, product revisions, or the addition of new features". With
+    declared contracts, a firmware bump becomes a reviewable diff instead
+    of a driver archaeology session: which semantics appeared, which
+    vanished (breaking anyone who required them in hardware), which
+    merely moved (transparent — accessors are regenerated), and how the
+    path structure changed.
+
+    Comparison is semantic-level, not textual: paths are matched by their
+    Prov sets, fields by their semantic names. *)
+
+type change =
+  | Semantic_added of string  (** new offload available somewhere *)
+  | Semantic_removed of string
+      (** offload gone from every path: hardware users fall back to
+          software on recompile *)
+  | Field_moved of { semantic : string; from_bits : int; to_bits : int }
+      (** same semantic, new offset in the matched path — transparent
+          after recompilation *)
+  | Field_resized of { semantic : string; from_width : int; to_width : int }
+  | Path_added of Path.t
+  | Path_removed of Path.t
+  | Tx_format_changed of { from_sizes : int list; to_sizes : int list }
+
+val compare : Nic_spec.t -> Nic_spec.t -> change list
+(** [compare old_rev new_rev]. *)
+
+val breaking : change -> bool
+(** Whether a change can degrade an application (semantic removed, field
+    resized to fewer bits, path removed). Moves and additions are
+    non-breaking: the compiler absorbs them. *)
+
+val pp_change : Format.formatter -> change -> unit
+
+val pp : Format.formatter -> change list -> unit
+(** Grouped report: breaking changes first. *)

@@ -1,0 +1,158 @@
+type kind = Fixed_function | Partially_programmable | Fully_programmable
+
+let kind_to_string = function
+  | Fixed_function -> "fixed-function"
+  | Partially_programmable -> "partially-programmable"
+  | Fully_programmable -> "fully-programmable"
+
+type t = {
+  nic_name : string;
+  kind : kind;
+  p4_source : string;
+  tenv : P4.Typecheck.t;
+  deparser : P4.Typecheck.control_def;
+  ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
+  paths : Path.t list;
+  desc_parser : P4.Typecheck.parser_def option;
+  tx_formats : Descparser.t list;
+  notes : string;
+}
+
+let has_cmpt_out (c : P4.Typecheck.control_def) =
+  List.exists
+    (fun (p : P4.Typecheck.cparam) ->
+      match p.c_typ with P4.Typecheck.RExtern "cmpt_out" -> true | _ -> false)
+    c.ct_params
+
+let has_desc_in (p : P4.Typecheck.parser_def) =
+  List.exists
+    (fun (prm : P4.Typecheck.cparam) ->
+      match prm.c_typ with P4.Typecheck.RExtern "desc_in" -> true | _ -> false)
+    p.pr_params
+
+let is_deparser_annotated (c : P4.Typecheck.control_def) =
+  List.exists (fun (a : P4.Ast.annotation) -> a.aname = "cmpt_deparser") c.ct_annots
+
+let find_deparser tenv ~requested =
+  match requested with
+  | Some name -> (
+      match P4.Typecheck.find_control tenv name with
+      | Some c when has_cmpt_out c -> Ok c
+      | Some _ -> Error (Printf.sprintf "control %s has no cmpt_out parameter" name)
+      | None -> Error (Printf.sprintf "no control named %s" name))
+  | None -> (
+      let candidates = List.filter has_cmpt_out (P4.Typecheck.controls tenv) in
+      match List.filter is_deparser_annotated candidates with
+      | [ c ] -> Ok c
+      | _ :: _ :: _ -> Error "multiple @cmpt_deparser controls"
+      | [] -> (
+          match candidates with
+          | [ c ] -> Ok c
+          | [] -> Error "no completion deparser found (no control takes a cmpt_out)"
+          | _ -> Error "multiple deparser candidates; tag one with @cmpt_deparser"))
+
+let load ~name ~kind ?deparser ?(notes = "") p4_source =
+  match Prelude.check_result p4_source with
+  | Error e -> Error (Printf.sprintf "%s: %s" name e)
+  | Ok tenv -> (
+      match find_deparser tenv ~requested:deparser with
+      | Error e -> Error (Printf.sprintf "%s: %s" name e)
+      | Ok dep -> (
+          match Path.enumerate tenv dep with
+          | Error e -> Error (Printf.sprintf "%s: %s" name e)
+          | Ok paths -> (
+              let desc_parser = List.find_opt has_desc_in (P4.Typecheck.parsers tenv) in
+              let tx_formats =
+                match desc_parser with
+                | None -> Ok []
+                | Some pd -> Descparser.enumerate tenv pd
+              in
+              match tx_formats with
+              | Error e -> Error (Printf.sprintf "%s: %s" name e)
+              | Ok tx_formats ->
+                  Ok
+                    {
+                      nic_name = name;
+                      kind;
+                      p4_source;
+                      tenv;
+                      deparser = dep;
+                      ctx = Context.find_param dep;
+                      paths;
+                      desc_parser;
+                      tx_formats;
+                      notes;
+                    })))
+
+let load_exn ~name ~kind ?deparser ?notes src =
+  match load ~name ~kind ?deparser ?notes src with
+  | Ok t -> t
+  | Error e -> failwith e
+
+let cfg t = Cfg.build t.tenv t.deparser
+
+let lint ?registry t =
+  let registry = match registry with Some r -> r | None -> Semantic.default () in
+  let warnings = ref [] in
+  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
+  (* Unknown semantics anywhere in the description. *)
+  let all_sems =
+    List.concat_map
+      (fun (h : P4.Typecheck.header_def) ->
+        List.filter_map (fun (f : P4.Typecheck.field) -> f.f_semantic) h.h_fields)
+      (P4.Typecheck.headers t.tenv)
+    |> List.sort_uniq String.compare
+  in
+  List.iter
+    (fun s ->
+      if not (Semantic.mem registry s) then
+        warn "unknown semantic %S (typo? register it or fix the annotation)" s)
+    all_sems;
+  (* Duplicate semantics within one path. *)
+  List.iter
+    (fun (p : Path.t) ->
+      let sems =
+        List.filter_map (fun (f : Path.lfield) -> f.l_semantic) p.p_layout.fields
+      in
+      let rec dups seen = function
+        | [] -> ()
+        | s :: rest ->
+            if List.mem s seen then
+              warn "path #%d carries semantic %S twice (only the first is used)"
+                p.p_index s
+            else dups (s :: seen) rest
+      in
+      dups [] sems)
+    t.paths;
+  (* Dominated paths: same Prov, strictly larger. *)
+  List.iter
+    (fun (a : Path.t) ->
+      List.iter
+        (fun (b : Path.t) ->
+          if a.p_index < b.p_index && a.p_prov = b.p_prov then
+            if Path.size a <> Path.size b then
+              warn
+                "paths #%d and #%d provide the same semantics; the %d-byte one \
+                 can never be selected"
+                a.p_index b.p_index
+                (max (Path.size a) (Path.size b)))
+        t.paths)
+    t.paths;
+  (* TX formats must let the host point at a buffer. *)
+  List.iter
+    (fun (f : Descparser.t) ->
+      if Descparser.field_for f "buf_addr" = None then
+        warn "TX format #%d has no buf_addr field; the device cannot fetch packets"
+          f.d_index)
+    t.tx_formats;
+  List.rev !warnings
+
+let find_path t idx = List.find_opt (fun (p : Path.t) -> p.p_index = idx) t.paths
+
+let pp ppf t =
+  Format.fprintf ppf "%s (%s): %d completion path(s)%s%s" t.nic_name
+    (kind_to_string t.kind) (List.length t.paths)
+    (match t.tx_formats with
+    | [] -> ""
+    | fs -> Printf.sprintf ", %d TX format(s)" (List.length fs))
+    (if t.notes = "" then "" else " — " ^ t.notes)

@@ -1,0 +1,58 @@
+(** A NIC's OpenDesc interface description.
+
+    Bundles the P4 source a vendor ships — descriptor parser, completion
+    deparser, context/descriptor/metadata header types — with the results
+    of checking and analysing it: the completion paths the NIC can emit
+    and the TX descriptor formats it accepts.
+
+    The deparser is located as the control carrying a [cmpt_out]
+    parameter (annotate with [@cmpt_deparser] or pass [~deparser] when a
+    description has several); the TX parser as the parser carrying a
+    [desc_in] parameter. *)
+
+type kind = Fixed_function | Partially_programmable | Fully_programmable
+
+val kind_to_string : kind -> string
+
+type t = {
+  nic_name : string;
+  kind : kind;
+  p4_source : string;  (** vendor description, without the prelude *)
+  tenv : P4.Typecheck.t;
+  deparser : P4.Typecheck.control_def;
+  ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
+  paths : Path.t list;  (** RX completion paths *)
+  desc_parser : P4.Typecheck.parser_def option;
+  tx_formats : Descparser.t list;  (** TX descriptor formats *)
+  notes : string;
+}
+
+val load :
+  name:string ->
+  kind:kind ->
+  ?deparser:string ->
+  ?notes:string ->
+  string ->
+  (t, string) result
+(** [load ~name ~kind src] checks and analyses a vendor description. *)
+
+val load_exn :
+  name:string -> kind:kind -> ?deparser:string -> ?notes:string -> string -> t
+(** @raise Failure with the error message. *)
+
+val cfg : t -> Cfg.t
+(** The deparser's control-flow graph (reporting, Figure 6). *)
+
+val lint : ?registry:Semantic.t -> t -> string list
+(** Description-quality warnings for vendors:
+    - semantics that no registry knows (likely typos — the costliest
+      mistake, since a misspelled semantic silently becomes "missing");
+    - a semantic appearing twice within one completion path;
+    - completion paths sharing identical Prov sets but different sizes
+      (the larger one can never be selected);
+    - TX formats with no [buf_addr] field. *)
+
+val find_path : t -> int -> Path.t option
+
+val pp : Format.formatter -> t -> unit
+(** One-paragraph summary. *)

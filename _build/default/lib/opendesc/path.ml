@@ -1,0 +1,186 @@
+type lfield = {
+  l_name : string;
+  l_header : string;
+  l_semantic : string option;
+  l_bit_off : int;
+  l_bits : int;
+}
+
+type layout = { fields : lfield list; size_bytes : int }
+
+type t = {
+  p_index : int;
+  p_emits : (string * P4.Typecheck.header_def) list;
+  p_layout : layout;
+  p_prov : string list;
+  p_assignments : Context.assignment list;
+}
+
+let size t = t.p_layout.size_bytes
+let provides t s = List.mem s t.p_prov
+
+let field_for t s =
+  List.find_opt (fun f -> f.l_semantic = Some s) t.p_layout.fields
+
+exception Stop_exec  (* a return statement ends the apply body *)
+
+exception Exec_error of string
+
+(* Execute the deparser body under one context assignment, collecting the
+   emit sequence. Local variables are tracked concretely when their values
+   are computable, so conditions may also read locals derived from the
+   context. *)
+let run_assignment tenv (ctrl : P4.Typecheck.control_def) ~out_name ~ctx_env scope =
+  let locals : (string list, P4.Eval.value) Hashtbl.t = Hashtbl.create 8 in
+  let consts = P4.Typecheck.const_env tenv in
+  let env path =
+    match Hashtbl.find_opt locals path with
+    | Some v -> Some v
+    | None -> ( match ctx_env path with Some v -> Some v | None -> consts path)
+  in
+  let emits = ref [] in
+  let rec exec_block stmts = List.iter exec_stmt stmts
+  and exec_stmt (s : P4.Ast.stmt) =
+    match s with
+    | P4.Ast.SCall e -> (
+        match Cfg.emit_target out_name e with
+        | Some arg -> (
+            match P4.Typecheck.type_of_expr tenv scope arg with
+            | P4.Typecheck.RHeader h ->
+                emits := (P4.Pretty.expr_to_string arg, h) :: !emits
+            | ty ->
+                raise
+                  (Exec_error
+                     (Printf.sprintf "emit of non-header %s : %s"
+                        (P4.Pretty.expr_to_string arg)
+                        (P4.Typecheck.rtyp_name ty))))
+        | None -> () (* other extern/table calls don't affect the layout *))
+    | P4.Ast.SIf (cond, then_b, else_b) -> (
+        match P4.Eval.eval_bool env cond with
+        | Some true -> exec_block then_b
+        | Some false -> Option.iter exec_block else_b
+        | None ->
+            raise
+              (Exec_error
+                 (Printf.sprintf
+                    "branch %s is not decidable from the context; OpenDesc \
+                     requires completion layouts to be selected by configuration"
+                    (P4.Pretty.expr_to_string cond))))
+    | P4.Ast.SBlock b -> exec_block b
+    | P4.Ast.SAssign (lhs, rhs) -> (
+        match P4.Eval.path_of_expr lhs with
+        | Some path -> Hashtbl.replace locals path (P4.Eval.eval env rhs)
+        | None -> ())
+    | P4.Ast.SVar (_, name, init) ->
+        let v =
+          match init with Some e -> P4.Eval.eval env e | None -> P4.Eval.VUnknown
+        in
+        Hashtbl.replace locals [ name.name ] v
+    | P4.Ast.SConst (_, name, value) ->
+        Hashtbl.replace locals [ name.name ] (P4.Eval.eval env value)
+    | P4.Ast.SReturn _ -> raise Stop_exec
+    | P4.Ast.SEmpty -> ()
+  in
+  (try exec_block ctrl.ct_body with Stop_exec -> ());
+  List.rev !emits
+
+let layout_of_emits emits =
+  let bit = ref 0 in
+  let fields =
+    List.concat_map
+      (fun ((_, h) : string * P4.Typecheck.header_def) ->
+        let base = !bit in
+        let fs =
+          List.map
+            (fun (f : P4.Typecheck.field) ->
+              {
+                l_name = f.f_name;
+                l_header = h.h_name;
+                l_semantic = f.f_semantic;
+                l_bit_off = base + f.f_bit_off;
+                l_bits = f.f_bits;
+              })
+            h.h_fields
+        in
+        bit := base + h.h_bits;
+        fs)
+      emits
+  in
+  if !bit mod 8 <> 0 then
+    raise (Exec_error (Printf.sprintf "completion layout is %d bits, not byte-aligned" !bit));
+  { fields; size_bytes = !bit / 8 }
+
+let prov_of_emits emits =
+  List.concat_map
+    (fun ((_, h) : string * P4.Typecheck.header_def) ->
+      List.filter_map (fun (f : P4.Typecheck.field) -> f.f_semantic) h.h_fields)
+    emits
+  |> List.sort_uniq String.compare
+
+let emits_equal a b =
+  List.length a = List.length b
+  && List.for_all2
+       (fun ((ea, ha) : string * P4.Typecheck.header_def) ((eb, hb) : string * P4.Typecheck.header_def) ->
+         ea = eb && ha.h_name = hb.h_name)
+       a b
+
+let enumerate tenv (ctrl : P4.Typecheck.control_def) =
+  match
+    let out_name = Cfg.out_param ctrl in
+    let scope = P4.Typecheck.scope_of_control tenv ctrl in
+    let assignments =
+      match Context.find_param ctrl with
+      | None -> Ok [ [] ]
+      | Some (_param, ctx_header) -> Context.enumerate ctx_header
+    in
+    let ctx_param_name =
+      match Context.find_param ctrl with Some (p, _) -> p.c_name | None -> "ctx"
+    in
+    match assignments with
+    | Error e -> Error e
+    | Ok assignments ->
+        (* Execute under each assignment, then group equal emit sequences. *)
+        let runs =
+          List.map
+            (fun a ->
+              let ctx_env = Context.env_of ~param_name:ctx_param_name a in
+              (a, run_assignment tenv ctrl ~out_name ~ctx_env scope))
+            assignments
+        in
+        let groups : (string * P4.Typecheck.header_def) list list ref = ref [] in
+        let by_path = Hashtbl.create 8 in
+        List.iter
+          (fun (a, emits) ->
+            match
+              List.find_opt (fun g -> emits_equal g emits) !groups
+            with
+            | Some g ->
+                let key = List.map fst g in
+                Hashtbl.replace by_path key (a :: Hashtbl.find by_path key)
+            | None ->
+                groups := !groups @ [ emits ];
+                Hashtbl.replace by_path (List.map fst emits) [ a ])
+          runs;
+        Ok
+          (List.mapi
+             (fun i emits ->
+               {
+                 p_index = i;
+                 p_emits = emits;
+                 p_layout = layout_of_emits emits;
+                 p_prov = prov_of_emits emits;
+                 p_assignments = List.rev (Hashtbl.find by_path (List.map fst emits));
+               })
+             !groups)
+  with
+  | result -> result
+  | exception Exec_error msg -> Error msg
+  | exception Cfg.Analysis_error msg -> Error msg
+  | exception P4.Typecheck.Type_error (msg, _) -> Error msg
+
+let pp ppf t =
+  Format.fprintf ppf "path#%d [%s] %dB prov={%s} cfgs=%d" t.p_index
+    (String.concat "; " (List.map fst t.p_emits))
+    t.p_layout.size_bytes
+    (String.concat "," t.p_prov)
+    (List.length t.p_assignments)

@@ -1,0 +1,58 @@
+(** Completion paths: concrete metadata layouts a NIC may emit (§4 step 2).
+
+    A completion path is characterised by the emit sequence the deparser
+    performs under one context configuration. We enumerate paths by
+    executing the deparser body under {e every} assignment of the context
+    fields ({!Context.enumerate}) — unlike a syntactic root-to-leaf walk
+    of the CFG this prunes infeasible predicate combinations for free, and
+    it yields, per path, the exact set of configurations that select it
+    (which is what the driver later programs over the control channel).
+
+    Per path we compute the paper's characterisation:
+    Prov(p) = union of emitted field semantics, Size(p) = total bytes,
+    plus the concrete field layout used for accessor synthesis. *)
+
+(** One field of the completion record, with its absolute position. *)
+type lfield = {
+  l_name : string;
+  l_header : string;  (** header the field came from *)
+  l_semantic : string option;
+  l_bit_off : int;  (** absolute offset from the start of the completion *)
+  l_bits : int;
+}
+
+type layout = { fields : lfield list; size_bytes : int }
+
+type t = {
+  p_index : int;  (** stable index among the control's paths *)
+  p_emits : (string * P4.Typecheck.header_def) list;
+      (** (pretty-printed argument, emitted header) in order *)
+  p_layout : layout;
+  p_prov : string list;  (** Prov(p), sorted, distinct *)
+  p_assignments : Context.assignment list;
+      (** every context configuration that selects this path *)
+}
+
+val size : t -> int
+(** Size(p) in bytes. *)
+
+val provides : t -> string -> bool
+
+val field_for : t -> string -> lfield option
+(** First layout field carrying the given semantic. *)
+
+exception Exec_error of string
+(** Raised by the shared layout machinery on malformed layouts. *)
+
+val layout_of_emits : (string * P4.Typecheck.header_def) list -> layout
+(** Concatenate headers into an absolute field layout.
+    @raise Exec_error when the total is not byte-aligned. *)
+
+val enumerate :
+  P4.Typecheck.t -> P4.Typecheck.control_def -> (t list, string) result
+(** All distinct completion paths of a deparser. Errors when: the control
+    lacks a [cmpt_out] parameter; a branch condition is not decidable
+    from the context; an emitted expression is not a byte-aligned header;
+    or the context space is unbounded. *)
+
+val pp : Format.formatter -> t -> unit

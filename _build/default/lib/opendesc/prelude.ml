@@ -1,0 +1,33 @@
+let source =
+  {|
+/* OpenDesc standard prelude */
+extern desc_in {
+  void extract<T>(out T hdr);
+  void advance(bit<32> bits);
+}
+extern cmpt_out {
+  void emit<T>(in T hdr);
+}
+extern packet_in {
+  void extract<T>(out T hdr);
+  void advance(bit<32> bits);
+}
+extern packet_out {
+  void emit<T>(in T hdr);
+}
+|}
+
+let check nic_source = P4.Typecheck.check_string (source ^ nic_source)
+
+let check_result nic_source =
+  let full = source ^ nic_source in
+  try Ok (P4.Typecheck.check_string full) with
+  | P4.Typecheck.Type_error (msg, sp) ->
+      Error
+        (Printf.sprintf "type error at line %d: %s"
+           (sp.P4.Loc.left.line - (List.length (String.split_on_char '\n' source) - 1))
+           msg)
+  | exn -> (
+      match P4.Parser.error_to_string full exn with
+      | Some s -> Error s
+      | None -> raise exn)

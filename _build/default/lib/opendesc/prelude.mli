@@ -1,0 +1,16 @@
+(** The standard OpenDesc P4 prelude.
+
+    Declares the extern object types of the paper's interface templates
+    (Figures 3 and 4): [desc_in], the byte stream a descriptor parser
+    consumes, and [cmpt_out], the completion stream a deparser emits to.
+    Every NIC description and intent is checked against this prelude. *)
+
+val source : string
+(** P4 source of the prelude. *)
+
+val check : string -> P4.Typecheck.t
+(** [check nic_source] typechecks [prelude ^ nic_source].
+    @raise P4.Typecheck.Type_error, [P4.Parser.Error], [P4.Lexer.Error]. *)
+
+val check_result : string -> (P4.Typecheck.t, string) result
+(** Same, with rendered error messages. *)

@@ -1,0 +1,17 @@
+(** Human-readable compilation reports.
+
+    What the prototype compiler of the paper prints: the candidate
+    completion paths with their Eq. 1 scores, the selected path and the
+    configuration that enables it, the accessor table, and the features
+    left to software. *)
+
+val paths : Format.formatter -> Nic_spec.t -> unit
+(** Table of every completion path of a NIC. *)
+
+val outcome : Format.formatter -> Compile.t -> unit
+(** Full report for one compilation. *)
+
+val summary_line : Compile.t -> string
+(** One line: nic, chosen path, hw/sw split, completion bytes. *)
+
+val to_string : Compile.t -> string

@@ -1,0 +1,49 @@
+(** The semantic universe Σ and the software-cost function w.
+
+    Every metadata field a NIC can emit or an application can request is
+    tagged with a semantic name ([@semantic("rss")], ...). This registry
+    records, per name, the natural width and the cost w(s) of recomputing
+    the semantic in software — [infinity] when no software implementation
+    can exist (the unsatisfiable case of Eq. 1 in the paper).
+
+    The default universe is derived from {!Softnic.Registry.all} (every
+    built-in software feature) plus a few hardware-only semantics, so the
+    compiler's cost model and the SoftNIC shims can never drift apart. *)
+
+type info = {
+  name : string;
+  width_bits : int;
+  sw_cost : float;  (** cycles; [infinity] = not software-implementable *)
+  descr : string;
+}
+
+type t
+
+val default : unit -> t
+(** Fresh registry with every built-in semantic. *)
+
+val empty : unit -> t
+
+val register : t -> info -> unit
+(** Add or replace — how applications introduce new semantics (the
+    paper's evolvability mechanism). *)
+
+val register_feature : t -> ?descr:string -> Softnic.Feature.t -> unit
+(** Register a semantic directly from its software implementation. *)
+
+val find : t -> string -> info option
+
+val mem : t -> string -> bool
+
+val cost : t -> string -> float
+(** w(s); [infinity] for unknown semantics (nothing to synthesize from). *)
+
+val width : t -> string -> int option
+
+val names : t -> string list
+(** Sorted. *)
+
+val hardware_only : string list
+(** Built-in semantics with no software fallback: results of on-NIC
+    accelerators and wire-accurate capture that the host cannot
+    reproduce. *)

@@ -1,0 +1,1 @@
+lib/p4/ast.pp.ml: List Loc Ppx_deriving_runtime

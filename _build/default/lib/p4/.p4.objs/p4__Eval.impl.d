@@ -1,0 +1,1 @@
+lib/p4/eval.pp.ml: Ast Bool Format Int64

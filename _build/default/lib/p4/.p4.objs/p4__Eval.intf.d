@@ -1,0 +1,1 @@
+lib/p4/eval.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/p4/interp.pp.ml: Ast Eval Hashtbl Int64 List Option Packet Pretty Printf Typecheck

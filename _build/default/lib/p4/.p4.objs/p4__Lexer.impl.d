@@ -1,0 +1,1 @@
+lib/p4/lexer.pp.ml: Buffer Char Int64 List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/p4/lexer.pp.mli: Loc Token

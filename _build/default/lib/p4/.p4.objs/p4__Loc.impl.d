@@ -1,0 +1,1 @@
+lib/p4/loc.pp.ml: Format Ppx_deriving_runtime

@@ -1,0 +1,1 @@
+lib/p4/parser.pp.ml: Array Ast Int64 Lexer List Loc Printf String Token

@@ -1,0 +1,1 @@
+lib/p4/pretty.pp.mli: Ast Format

@@ -1,0 +1,1 @@
+lib/p4/token.pp.ml: List Loc Ppx_deriving_runtime Printf

@@ -1,0 +1,1 @@
+lib/p4/typecheck.pp.ml: Ast Eval Format Hashtbl Int64 List Loc Option Parser Pretty Printf

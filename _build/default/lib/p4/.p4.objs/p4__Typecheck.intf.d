@@ -1,0 +1,1 @@
+lib/p4/typecheck.pp.mli: Ast Eval Loc

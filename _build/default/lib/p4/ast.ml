@@ -1,0 +1,242 @@
+(** Surface abstract syntax of the P4 subset.
+
+    Spans are carried on identifiers and key nodes for error reporting;
+    equality derived here ignores nothing, so tests that compare ASTs
+    should compare via {!Pretty} round-trips or strip spans first with
+    {!strip_spans}. *)
+
+type ident = { name : string; span : Loc.span [@equal fun _ _ -> true] }
+[@@deriving show { with_path = false }, eq]
+
+let ident ?(span = Loc.dummy) name = { name; span }
+
+type unop = Neg | BitNot | LNot [@@deriving show { with_path = false }, eq]
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Shl
+  | Shr
+  | BAnd
+  | BOr
+  | BXor
+  | LAnd
+  | LOr
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | Concat  (** [++], bit-string concatenation *)
+[@@deriving show { with_path = false }, eq]
+
+type typ =
+  | TBit of expr  (** [bit<e>] *)
+  | TSigned of expr  (** [int<e>] *)
+  | TVarbit of expr
+  | TBool
+  | TError
+  | TString
+  | TVoid
+  | TName of ident
+  | TApply of ident * typ list  (** [Name<T1,...>] *)
+[@@deriving show { with_path = false }, eq]
+
+and expr =
+  | EInt of (int_lit[@equal fun a b -> a.value = b.value && a.width = b.width])
+  | EBool of bool
+  | EString of string
+  | EIdent of ident
+  | EMember of expr * ident
+  | EIndex of expr * expr
+  | EUnop of unop * expr
+  | EBinop of binop * expr * expr
+  | ETernary of expr * expr * expr
+  | ECast of typ * expr
+  | ECall of expr * typ list * expr list  (** callee, type args, args *)
+[@@deriving show { with_path = false }, eq]
+
+and int_lit = { value : int64; width : int option; signed : bool }
+[@@deriving show { with_path = false }, eq]
+
+type annot_arg = AString of string | AInt of int64 | AIdent of string
+[@@deriving show { with_path = false }, eq]
+
+type annotation = { aname : string; args : annot_arg list }
+[@@deriving show { with_path = false }, eq]
+
+type direction = DNone | DIn | DOut | DInOut
+[@@deriving show { with_path = false }, eq]
+
+type param = {
+  pannots : annotation list;
+  pdir : direction;
+  ptyp : typ;
+  pname : ident;
+}
+[@@deriving show { with_path = false }, eq]
+
+type field = { fannots : annotation list; ftyp : typ; fname : ident }
+[@@deriving show { with_path = false }, eq]
+
+type stmt =
+  | SAssign of expr * expr
+  | SCall of expr  (** expression statement; must be a call *)
+  | SIf of expr * block * block option
+  | SBlock of block
+  | SVar of typ * ident * expr option
+  | SConst of typ * ident * expr
+  | SReturn of expr option
+  | SEmpty
+[@@deriving show { with_path = false }, eq]
+
+and block = stmt list [@@deriving show { with_path = false }, eq]
+
+type keyset = KDefault | KExpr of expr | KMask of expr * expr
+[@@deriving show { with_path = false }, eq]
+
+type select_case = { keysets : keyset list; next : ident }
+[@@deriving show { with_path = false }, eq]
+
+type transition = TDirect of ident | TSelect of expr list * select_case list
+[@@deriving show { with_path = false }, eq]
+
+type parser_state = {
+  st_annots : annotation list;
+  st_name : ident;
+  st_stmts : stmt list;
+  st_trans : transition;
+}
+[@@deriving show { with_path = false }, eq]
+
+type table_prop =
+  | PKey of (expr * ident) list  (** (expression, match_kind) *)
+  | PActions of ident list
+  | PDefaultAction of expr
+  | PCustom of ident * expr
+[@@deriving show { with_path = false }, eq]
+
+type decl =
+  | DConst of { annots : annotation list; typ : typ; name : ident; value : expr }
+  | DTypedef of { annots : annotation list; typ : typ; name : ident }
+  | DHeader of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      fields : field list;
+    }
+  | DStruct of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      fields : field list;
+    }
+  | DEnum of { annots : annotation list; name : ident; members : ident list }
+  | DSerEnum of {
+      annots : annotation list;
+      typ : typ;
+      name : ident;
+      members : (ident * expr) list;
+    }
+  | DError of ident list
+  | DMatchKind of ident list
+  | DParser of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      params : param list;
+      locals : decl list;
+      states : parser_state list;
+    }
+  | DControl of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      params : param list;
+      locals : decl list;
+      apply : block;
+    }
+  | DAction of {
+      annots : annotation list;
+      name : ident;
+      params : param list;
+      body : block;
+    }
+  | DTable of { annots : annotation list; name : ident; props : table_prop list }
+  | DExtern of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      methods : extern_method list;
+    }
+  | DParserDecl of {
+      (* parser type declaration: parser Name<T>(params); *)
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      params : param list;
+    }
+  | DControlDecl of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      params : param list;
+    }
+  | DPackage of {
+      annots : annotation list;
+      name : ident;
+      type_params : ident list;
+      params : param list;
+    }
+  | DInstantiation of { annots : annotation list; typ : typ; args : expr list; name : ident }
+  | DVarTop of { annots : annotation list; typ : typ; name : ident; init : expr option }
+[@@deriving show { with_path = false }, eq]
+
+and extern_method = {
+  m_annots : annotation list;
+  m_ret : typ;
+  m_name : ident;
+  m_type_params : ident list;
+  m_params : param list;
+}
+[@@deriving show { with_path = false }, eq]
+
+type program = decl list [@@deriving show { with_path = false }, eq]
+
+(** {1 Small helpers} *)
+
+let decl_name = function
+  | DConst { name; _ }
+  | DTypedef { name; _ }
+  | DHeader { name; _ }
+  | DStruct { name; _ }
+  | DEnum { name; _ }
+  | DSerEnum { name; _ }
+  | DParser { name; _ }
+  | DControl { name; _ }
+  | DAction { name; _ }
+  | DTable { name; _ }
+  | DExtern { name; _ }
+  | DParserDecl { name; _ }
+  | DControlDecl { name; _ }
+  | DPackage { name; _ }
+  | DInstantiation { name; _ }
+  | DVarTop { name; _ } ->
+      Some name.name
+  | DError _ | DMatchKind _ -> None
+
+let find_annotation name annots =
+  List.find_opt (fun a -> a.aname = name) annots
+
+let annotation_string a =
+  match a.args with AString s :: _ -> Some s | _ -> None
+
+(** The @semantic("...") tag of a field, if any. *)
+let semantic_of field =
+  match find_annotation "semantic" field.fannots with
+  | Some a -> annotation_string a
+  | None -> None

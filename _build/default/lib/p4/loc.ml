@@ -1,0 +1,17 @@
+(** Source positions for error reporting and adjacency checks. *)
+
+type pos = { line : int; col : int; off : int } [@@deriving show, eq]
+
+type span = { left : pos; right : pos } [@@deriving show, eq]
+(** [left] is inclusive, [right] exclusive (one past the last char). *)
+
+let dummy_pos = { line = 0; col = 0; off = -1 }
+let dummy = { left = dummy_pos; right = dummy_pos }
+let merge a b = { left = a.left; right = b.right }
+
+let pp_short ppf s = Format.fprintf ppf "%d:%d" s.left.line s.left.col
+
+(** True when [b] starts exactly where [a] ends (no whitespace between) —
+    used to distinguish the [>>] shift operator from two closing angle
+    brackets of nested type arguments. *)
+let adjacent a b = a.right.off = b.left.off

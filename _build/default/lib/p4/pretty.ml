@@ -1,0 +1,269 @@
+let fpf = Format.fprintf
+
+let unop_str = function Ast.Neg -> "-" | Ast.BitNot -> "~" | Ast.LNot -> "!"
+
+let binop_str = function
+  | Ast.Add -> "+"
+  | Ast.Sub -> "-"
+  | Ast.Mul -> "*"
+  | Ast.Div -> "/"
+  | Ast.Mod -> "%"
+  | Ast.Shl -> "<<"
+  | Ast.Shr -> ">>"
+  | Ast.BAnd -> "&"
+  | Ast.BOr -> "|"
+  | Ast.BXor -> "^"
+  | Ast.LAnd -> "&&"
+  | Ast.LOr -> "||"
+  | Ast.Eq -> "=="
+  | Ast.Neq -> "!="
+  | Ast.Lt -> "<"
+  | Ast.Le -> "<="
+  | Ast.Gt -> ">"
+  | Ast.Ge -> ">="
+  | Ast.Concat -> "++"
+
+let rec typ ppf = function
+  | Ast.TBit e -> fpf ppf "bit<%a>" expr e
+  | Ast.TSigned e -> fpf ppf "int<%a>" expr e
+  | Ast.TVarbit e -> fpf ppf "varbit<%a>" expr e
+  | Ast.TBool -> fpf ppf "bool"
+  | Ast.TError -> fpf ppf "error"
+  | Ast.TString -> fpf ppf "string"
+  | Ast.TVoid -> fpf ppf "void"
+  | Ast.TName i -> fpf ppf "%s" i.name
+  | Ast.TApply (i, args) ->
+      fpf ppf "%s<%a>" i.name (Format.pp_print_list ~pp_sep:comma typ) args
+
+and comma ppf () = fpf ppf ", "
+
+and expr ppf = function
+  | Ast.EInt { value; width = Some w; signed } ->
+      fpf ppf "%d%c%Ld" w (if signed then 's' else 'w') value
+  | Ast.EInt { value; _ } -> fpf ppf "%Ld" value
+  | Ast.EBool b -> fpf ppf "%b" b
+  | Ast.EString s -> fpf ppf "%S" s
+  | Ast.EIdent i -> fpf ppf "%s" i.name
+  | Ast.EMember (e, f) -> fpf ppf "%a.%s" postfix_base e f.name
+  | Ast.EIndex (e, i) -> fpf ppf "%a[%a]" postfix_base e expr i
+  | Ast.EUnop (op, e) -> fpf ppf "%s(%a)" (unop_str op) expr e
+  | Ast.EBinop (op, a, b) -> fpf ppf "(%a %s %a)" expr a (binop_str op) expr b
+  | Ast.ETernary (c, t, f) -> fpf ppf "(%a ? %a : %a)" expr c expr t expr f
+  | Ast.ECast (t, e) -> fpf ppf "(%a)(%a)" typ t expr e
+  | Ast.ECall (callee, [], args) ->
+      fpf ppf "%a(%a)" postfix_base callee
+        (Format.pp_print_list ~pp_sep:comma expr)
+        args
+  | Ast.ECall (callee, targs, args) ->
+      fpf ppf "%a<%a>(%a)" postfix_base callee
+        (Format.pp_print_list ~pp_sep:comma typ)
+        targs
+        (Format.pp_print_list ~pp_sep:comma expr)
+        args
+
+(* Postfix operators bind tighter than unary/binary ones; a non-postfix
+   base must be parenthesised or reparsing rebinds the access. *)
+and postfix_base ppf e =
+  match e with
+  | Ast.EInt _ | Ast.EBool _ | Ast.EString _ | Ast.EIdent _ | Ast.EMember _
+  | Ast.EIndex _ | Ast.ECall _ ->
+      expr ppf e
+  | Ast.EUnop _ | Ast.EBinop _ | Ast.ETernary _ | Ast.ECast _ ->
+      fpf ppf "(%a)" expr e
+
+let annotation ppf (a : Ast.annotation) =
+  let arg ppf = function
+    | Ast.AString s -> fpf ppf "%S" s
+    | Ast.AInt i -> fpf ppf "%Ld" i
+    | Ast.AIdent s -> fpf ppf "%s" s
+  in
+  match a.args with
+  | [] -> fpf ppf "@%s" a.aname
+  | args -> fpf ppf "@%s(%a)" a.aname (Format.pp_print_list ~pp_sep:comma arg) args
+
+let annots_prefix ppf = function
+  | [] -> ()
+  | l ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_space annotation ppf l;
+      Format.pp_print_space ppf ()
+
+let direction ppf = function
+  | Ast.DNone -> ()
+  | Ast.DIn -> fpf ppf "in "
+  | Ast.DOut -> fpf ppf "out "
+  | Ast.DInOut -> fpf ppf "inout "
+
+let param ppf (p : Ast.param) =
+  fpf ppf "%a%a%a %s" annots_prefix p.pannots direction p.pdir typ p.ptyp p.pname.name
+
+let params ppf ps =
+  fpf ppf "(%a)" (Format.pp_print_list ~pp_sep:comma param) ps
+
+let type_params ppf = function
+  | [] -> ()
+  | tps ->
+      fpf ppf "<%a>"
+        (Format.pp_print_list ~pp_sep:comma (fun ppf (i : Ast.ident) ->
+             fpf ppf "%s" i.name))
+        tps
+
+let field ppf (f : Ast.field) =
+  fpf ppf "@[<h>%a%a %s;@]" annots_prefix f.fannots typ f.ftyp f.fname.name
+
+let rec stmt ppf = function
+  | Ast.SAssign (l, r) -> fpf ppf "@[<h>%a = %a;@]" expr l expr r
+  | Ast.SCall e -> fpf ppf "@[<h>%a;@]" expr e
+  | Ast.SIf (c, t, None) -> fpf ppf "@[<v 2>if (%a) {@,%a@]@,}" expr c block t
+  | Ast.SIf (c, t, Some e) ->
+      fpf ppf "@[<v 2>if (%a) {@,%a@]@,@[<v 2>} else {@,%a@]@,}" expr c block t block e
+  | Ast.SBlock b -> fpf ppf "@[<v 2>{@,%a@]@,}" block b
+  | Ast.SVar (t, n, None) -> fpf ppf "@[<h>%a %s;@]" typ t n.name
+  | Ast.SVar (t, n, Some e) -> fpf ppf "@[<h>%a %s = %a;@]" typ t n.name expr e
+  | Ast.SConst (t, n, e) -> fpf ppf "@[<h>const %a %s = %a;@]" typ t n.name expr e
+  | Ast.SReturn None -> fpf ppf "return;"
+  | Ast.SReturn (Some e) -> fpf ppf "@[<h>return %a;@]" expr e
+  | Ast.SEmpty -> fpf ppf ";"
+
+and block ppf stmts = Format.pp_print_list ~pp_sep:Format.pp_print_cut stmt ppf stmts
+
+let keyset ppf = function
+  | Ast.KDefault -> fpf ppf "default"
+  | Ast.KExpr e -> expr ppf e
+  | Ast.KMask (e, m) -> fpf ppf "%a &&& %a" expr e expr m
+
+let select_case ppf (c : Ast.select_case) =
+  match c.keysets with
+  | [ k ] -> fpf ppf "@[<h>%a: %s;@]" keyset k c.next.name
+  | ks ->
+      fpf ppf "@[<h>(%a): %s;@]" (Format.pp_print_list ~pp_sep:comma keyset) ks
+        c.next.name
+
+let transition ppf = function
+  | Ast.TDirect i -> fpf ppf "transition %s;" i.name
+  | Ast.TSelect (scrutinee, cases) ->
+      fpf ppf "@[<v 2>transition select(%a) {@,%a@]@,}"
+        (Format.pp_print_list ~pp_sep:comma expr)
+        scrutinee
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut select_case)
+        cases
+
+let parser_state ppf (s : Ast.parser_state) =
+  fpf ppf "@[<v 2>%astate %s {@,%a%a@]@,}" annots_prefix s.st_annots s.st_name.name
+    (fun ppf -> function
+      | [] -> ()
+      | stmts ->
+          block ppf stmts;
+          Format.pp_print_cut ppf ())
+    s.st_stmts transition s.st_trans
+
+let table_prop ppf = function
+  | Ast.PKey entries ->
+      fpf ppf "@[<v 2>key = {@,%a@]@,}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (e, mk) ->
+             fpf ppf "@[<h>%a: %s;@]" expr e mk.Ast.name))
+        entries
+  | Ast.PActions names ->
+      fpf ppf "@[<v 2>actions = {@,%a@]@,}"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i : Ast.ident) ->
+             fpf ppf "%s;" i.name))
+        names
+  | Ast.PDefaultAction e -> fpf ppf "@[<h>default_action = %a;@]" expr e
+  | Ast.PCustom (n, e) -> fpf ppf "@[<h>%s = %a;@]" n.name expr e
+
+let rec decl ppf = function
+  | Ast.DConst { annots; typ = t; name; value } ->
+      fpf ppf "@[<h>%aconst %a %s = %a;@]" annots_prefix annots typ t name.name expr value
+  | Ast.DTypedef { annots; typ = t; name } ->
+      fpf ppf "@[<h>%atypedef %a %s;@]" annots_prefix annots typ t name.name
+  | Ast.DHeader { annots; name; type_params = tps; fields } ->
+      fpf ppf "@[<v 2>%aheader %s%a {@,%a@]@,}" annots_prefix annots name.name
+        type_params tps
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut field)
+        fields
+  | Ast.DStruct { annots; name; type_params = tps; fields } ->
+      fpf ppf "@[<v 2>%astruct %s%a {@,%a@]@,}" annots_prefix annots name.name
+        type_params tps
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut field)
+        fields
+  | Ast.DEnum { annots; name; members } ->
+      fpf ppf "@[<v 2>%aenum %s {@,%a@]@,}" annots_prefix annots name.name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf (i : Ast.ident) ->
+             fpf ppf "%s," i.name))
+        members
+  | Ast.DSerEnum { annots; typ = t; name; members } ->
+      fpf ppf "@[<v 2>%aenum %a %s {@,%a@]@,}" annots_prefix annots typ t name.name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut (fun ppf ((i : Ast.ident), e) ->
+             fpf ppf "@[<h>%s = %a,@]" i.name expr e))
+        members
+  | Ast.DError names ->
+      fpf ppf "@[<h>error { %a }@]"
+        (Format.pp_print_list ~pp_sep:comma (fun ppf (i : Ast.ident) ->
+             fpf ppf "%s" i.name))
+        names
+  | Ast.DMatchKind names ->
+      fpf ppf "@[<h>match_kind { %a }@]"
+        (Format.pp_print_list ~pp_sep:comma (fun ppf (i : Ast.ident) ->
+             fpf ppf "%s" i.name))
+        names
+  | Ast.DParser { annots; name; type_params = tps; params = ps; locals; states } ->
+      fpf ppf "@[<v 2>%aparser %s%a%a {@,%a%a@]@,}" annots_prefix annots name.name
+        type_params tps params ps decls_cut locals
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut parser_state)
+        states
+  | Ast.DControl { annots; name; type_params = tps; params = ps; locals; apply } ->
+      fpf ppf "@[<v 2>%acontrol %s%a%a {@,%a@[<v 2>apply {@,%a@]@,}@]@,}" annots_prefix
+        annots name.name type_params tps params ps decls_cut locals block apply
+  | Ast.DAction { annots; name; params = ps; body } ->
+      fpf ppf "@[<v 2>%aaction %s%a {@,%a@]@,}" annots_prefix annots name.name params ps
+        block body
+  | Ast.DTable { annots; name; props } ->
+      fpf ppf "@[<v 2>%atable %s {@,%a@]@,}" annots_prefix annots name.name
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut table_prop)
+        props
+  | Ast.DExtern { annots; name; type_params = tps; methods = [] } ->
+      fpf ppf "@[<h>%aextern %s%a;@]" annots_prefix annots name.name type_params tps
+  | Ast.DExtern { annots; name; type_params = tps; methods } ->
+      fpf ppf "@[<v 2>%aextern %s%a {@,%a@]@,}" annots_prefix annots name.name
+        type_params tps
+        (Format.pp_print_list ~pp_sep:Format.pp_print_cut extern_method)
+        methods
+  | Ast.DParserDecl { annots; name; type_params = tps; params = ps } ->
+      fpf ppf "@[<h>%aparser %s%a%a;@]" annots_prefix annots name.name type_params tps
+        params ps
+  | Ast.DControlDecl { annots; name; type_params = tps; params = ps } ->
+      fpf ppf "@[<h>%acontrol %s%a%a;@]" annots_prefix annots name.name type_params tps
+        params ps
+  | Ast.DPackage { annots; name; type_params = tps; params = ps } ->
+      fpf ppf "@[<h>%apackage %s%a%a;@]" annots_prefix annots name.name type_params tps
+        params ps
+  | Ast.DInstantiation { annots; typ = t; args; name } ->
+      fpf ppf "@[<h>%a%a(%a) %s;@]" annots_prefix annots typ t
+        (Format.pp_print_list ~pp_sep:comma expr)
+        args name.name
+  | Ast.DVarTop { annots; typ = t; name; init = None } ->
+      fpf ppf "@[<h>%a%a %s;@]" annots_prefix annots typ t name.name
+  | Ast.DVarTop { annots; typ = t; name; init = Some e } ->
+      fpf ppf "@[<h>%a%a %s = %a;@]" annots_prefix annots typ t name.name expr e
+
+and extern_method ppf (m : Ast.extern_method) =
+  match m.m_ret with
+  | Ast.TVoid when m.m_name.name <> "" && m.m_params <> [] && m.m_type_params = [] ->
+      fpf ppf "@[<h>%a%a %s%a;@]" annots_prefix m.m_annots typ m.m_ret m.m_name.name
+        params m.m_params
+  | _ ->
+      fpf ppf "@[<h>%a%a %s%a%a;@]" annots_prefix m.m_annots typ m.m_ret m.m_name.name
+        type_params m.m_type_params params m.m_params
+
+and decls_cut ppf = function
+  | [] -> ()
+  | ds ->
+      Format.pp_print_list ~pp_sep:Format.pp_print_cut decl ppf ds;
+      Format.pp_print_cut ppf ()
+
+let program ppf p =
+  fpf ppf "@[<v>%a@]@."
+    (Format.pp_print_list ~pp_sep:(fun ppf () -> fpf ppf "@,@,") decl)
+    p
+
+let program_to_string p = Format.asprintf "%a" program p
+let expr_to_string e = Format.asprintf "%a" expr e

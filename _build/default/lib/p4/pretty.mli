@@ -1,0 +1,20 @@
+(** P4 source emission from the AST.
+
+    The output is re-parseable by {!Parser}; round-tripping is tested as
+    [parse (print (parse s)) = parse s]. Used by the report generator and
+    by NIC models that synthesize descriptor descriptions on the fly
+    (fully-programmable QDMA queues). *)
+
+val typ : Format.formatter -> Ast.typ -> unit
+
+val expr : Format.formatter -> Ast.expr -> unit
+
+val stmt : Format.formatter -> Ast.stmt -> unit
+
+val decl : Format.formatter -> Ast.decl -> unit
+
+val program : Format.formatter -> Ast.program -> unit
+
+val program_to_string : Ast.program -> string
+
+val expr_to_string : Ast.expr -> string

@@ -1,0 +1,1 @@
+lib/packet/bitops.ml: Buffer Bytes Char Int64 Printf

@@ -1,0 +1,1 @@
+lib/packet/builder.ml: Bitops Bytes Cksum Fivetuple Hdr Int64 Pkt Printf

@@ -1,0 +1,1 @@
+lib/packet/builder.mli: Fivetuple Pkt

@@ -1,0 +1,1 @@
+lib/packet/cksum.mli: Pkt

@@ -1,0 +1,1 @@
+lib/packet/fivetuple.ml: Format Hashtbl Hdr Int32 Pkt Stdlib

@@ -1,0 +1,1 @@
+lib/packet/pkt.ml: Bitops Bytes Format Hdr Printf

@@ -1,0 +1,1 @@
+lib/packet/rng.ml: Array Bytes Char Int64 List

@@ -1,0 +1,1 @@
+lib/packet/workload.ml: Array Builder Bytes Char Fivetuple Float Hdr Int32 Printf Rng String

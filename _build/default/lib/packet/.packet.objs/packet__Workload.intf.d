@@ -1,0 +1,1 @@
+lib/packet/workload.mli: Fivetuple Pkt

@@ -1,0 +1,120 @@
+type l4 = Tcp of { seq : int32; flags : int } | Udp
+
+let dst_mac = "\x02\x00\x00\x00\x00\x02"
+let src_mac = "\x02\x00\x00\x00\x00\x01"
+
+let l4_header_len = function Tcp _ -> Hdr.tcp_min_len | Udp -> Hdr.udp_len
+
+let ipv4 ?vlan ?(ttl = 64) ?(ip_id = 0) ?(l4_csum = false) ?(payload = Bytes.empty)
+    ~(flow : Fivetuple.t) l4 =
+  let vlan_bytes = match vlan with Some _ -> Hdr.vlan_len | None -> 0 in
+  let l4_len = l4_header_len l4 + Bytes.length payload in
+  let ip_total = Hdr.ipv4_min_len + l4_len in
+  let total = Hdr.eth_len + vlan_bytes + ip_total in
+  let b = Bytes.make total '\x00' in
+  Bytes.blit_string dst_mac 0 b 0 6;
+  Bytes.blit_string src_mac 0 b 6 6;
+  let l3_off =
+    match vlan with
+    | Some vid ->
+        Bitops.set_u16_be b 12 Hdr.Ethertype.vlan;
+        (* TCI: priority 0, DEI 0, 12-bit VID. *)
+        Bitops.set_u16_be b 14 (vid land 0xfff);
+        Bitops.set_u16_be b 16 Hdr.Ethertype.ipv4;
+        Hdr.eth_len + Hdr.vlan_len
+    | None ->
+        Bitops.set_u16_be b 12 Hdr.Ethertype.ipv4;
+        Hdr.eth_len
+  in
+  (* IPv4 header. *)
+  Bitops.set_u8 b l3_off 0x45;
+  Bitops.set_u16_be b (l3_off + 2) ip_total;
+  Bitops.set_u16_be b (l3_off + 4) ip_id;
+  Bitops.set_u8 b (l3_off + 8) ttl;
+  Bitops.set_u8 b (l3_off + 9) flow.proto;
+  Bitops.set_u32_be b (l3_off + 12) flow.src_ip;
+  Bitops.set_u32_be b (l3_off + 16) flow.dst_ip;
+  Bitops.set_u16_be b (l3_off + 10) (Cksum.ipv4_header b ~off:l3_off);
+  (* L4 header. *)
+  let l4_off = l3_off + Hdr.ipv4_min_len in
+  Bitops.set_u16_be b l4_off flow.src_port;
+  Bitops.set_u16_be b (l4_off + 2) flow.dst_port;
+  (match l4 with
+  | Tcp { seq; flags } ->
+      Bitops.set_u32_be b (l4_off + 4) seq;
+      Bitops.set_u8 b (l4_off + 12) 0x50 (* data offset = 5 words *);
+      Bitops.set_u8 b (l4_off + 13) (flags land 0xff);
+      Bitops.set_u16_be b (l4_off + 14) 0xffff (* window *)
+  | Udp -> Bitops.set_u16_be b (l4_off + 4) l4_len);
+  Bytes.blit payload 0 b (l4_off + l4_header_len l4) (Bytes.length payload);
+  let pkt = Pkt.create b in
+  if l4_csum then begin
+    let v = Pkt.parse pkt in
+    match Cksum.l4 b ~v ~total_len:total with
+    | Some c ->
+        let csum_off = if flow.proto = Hdr.Proto.tcp then l4_off + 16 else l4_off + 6 in
+        Bitops.set_u16_be b csum_off c
+    | None -> ()
+  end;
+  pkt
+
+let ipv6 ?(hop_limit = 64) ?(payload = Bytes.empty) ~src ~dst ~src_port ~dst_port l4 =
+  assert (Bytes.length src = 16 && Bytes.length dst = 16);
+  let l4_len = l4_header_len l4 + Bytes.length payload in
+  let total = Hdr.eth_len + Hdr.ipv6_len + l4_len in
+  let b = Bytes.make total '\x00' in
+  Bytes.blit_string dst_mac 0 b 0 6;
+  Bytes.blit_string src_mac 0 b 6 6;
+  Bitops.set_u16_be b 12 Hdr.Ethertype.ipv6;
+  let l3 = Hdr.eth_len in
+  Bitops.set_u8 b l3 0x60;
+  Bitops.set_u16_be b (l3 + 4) l4_len;
+  Bitops.set_u8 b (l3 + 6)
+    (match l4 with Tcp _ -> Hdr.Proto.tcp | Udp -> Hdr.Proto.udp);
+  Bitops.set_u8 b (l3 + 7) hop_limit;
+  Bytes.blit src 0 b (l3 + 8) 16;
+  Bytes.blit dst 0 b (l3 + 24) 16;
+  let l4_off = l3 + Hdr.ipv6_len in
+  Bitops.set_u16_be b l4_off src_port;
+  Bitops.set_u16_be b (l4_off + 2) dst_port;
+  (match l4 with
+  | Tcp { seq; flags } ->
+      Bitops.set_u32_be b (l4_off + 4) seq;
+      Bitops.set_u8 b (l4_off + 12) 0x50;
+      Bitops.set_u8 b (l4_off + 13) (flags land 0xff);
+      Bitops.set_u16_be b (l4_off + 14) 0xffff
+  | Udp -> Bitops.set_u16_be b (l4_off + 4) l4_len);
+  Bytes.blit payload 0 b (l4_off + l4_header_len l4) (Bytes.length payload);
+  Pkt.create b
+
+let raw ~len ~fill =
+  assert (len >= Hdr.eth_len);
+  let b = Bytes.make len fill in
+  Bytes.fill b 0 12 '\xff';
+  Bitops.set_u16_be b 12 0x88b5;
+  Pkt.create b
+
+let vxlan ~vni ~outer_flow ~inner =
+  (* VXLAN header: flags (I bit set), 24b reserved, 24b VNI, 8b reserved. *)
+  let vxlan_hdr = Bytes.make 8 '\x00' in
+  Bitops.set_u8 vxlan_hdr 0 0x08;
+  Bitops.set_bits vxlan_hdr ~bit_off:32 ~width:24 (Int64.of_int (vni land 0xFFFFFF));
+  let payload = Bytes.create (8 + inner.Pkt.len) in
+  Bytes.blit vxlan_hdr 0 payload 0 8;
+  Bytes.blit inner.Pkt.buf 0 payload 8 inner.Pkt.len;
+  let flow = { outer_flow with Fivetuple.proto = Hdr.Proto.udp; dst_port = 4789 } in
+  ipv4 ~payload ~flow Udp
+
+let kvs_get ~flow ~key =
+  let payload = Bytes.of_string (Printf.sprintf "get %s\r\n" key) in
+  ipv4 ~payload ~flow Udp
+
+let corrupt_ipv4_checksum pkt =
+  let b = Bytes.copy pkt.Pkt.buf in
+  let p = Pkt.sub b ~len:pkt.Pkt.len in
+  let v = Pkt.parse p in
+  if v.l3_off >= 0 && v.is_ipv4 then begin
+    let c = Bitops.get_u16_be b (v.l3_off + 10) in
+    Bitops.set_u16_be b (v.l3_off + 10) (c lxor 0xffff)
+  end;
+  p

@@ -1,0 +1,50 @@
+(** Packet construction for tests and workload generation.
+
+    Builders fill in lengths and the IPv4 header checksum so produced
+    packets are self-consistent; L4 checksums are left zero unless
+    [l4_csum] is requested (software verification features then have real
+    work to do). *)
+
+type l4 = Tcp of { seq : int32; flags : int } | Udp
+
+val ipv4 :
+  ?vlan:int ->
+  ?ttl:int ->
+  ?ip_id:int ->
+  ?l4_csum:bool ->
+  ?payload:bytes ->
+  flow:Fivetuple.t ->
+  l4 ->
+  Pkt.t
+(** Ethernet/[802.1Q]/IPv4/{TCP,UDP}/payload. [vlan] is a 12-bit VLAN id
+    (tagged only when given). When [l4_csum] is true a correct TCP/UDP
+    checksum is filled in, otherwise 0. Default payload is empty. *)
+
+val raw : len:int -> fill:char -> Pkt.t
+(** A non-IP frame of [len] bytes: broadcast MACs, ethertype 0x88b5
+    (IEEE local experimental), constant fill. *)
+
+val ipv6 :
+  ?hop_limit:int ->
+  ?payload:bytes ->
+  src:bytes ->
+  dst:bytes ->
+  src_port:int ->
+  dst_port:int ->
+  l4 ->
+  Pkt.t
+(** Ethernet/IPv6/{TCP,UDP}/payload. [src]/[dst] are 16-byte addresses.
+    L4 checksums are left zero (software verification features treat a
+    zero UDP checksum as "not computed"). *)
+
+val vxlan : vni:int -> outer_flow:Fivetuple.t -> inner:Pkt.t -> Pkt.t
+(** VXLAN encapsulation: Ethernet/IPv4/UDP(dst 4789)/VXLAN(8 B)/inner
+    frame. [vni] is the 24-bit network identifier. The outer flow's
+    protocol is forced to UDP. *)
+
+val kvs_get : flow:Fivetuple.t -> key:string -> Pkt.t
+(** A memcached-text-protocol lookalike: UDP packet whose payload is
+    ["get <key>\r\n"]. Used by the key-value-store offload experiments. *)
+
+val corrupt_ipv4_checksum : Pkt.t -> Pkt.t
+(** Copy with the IPv4 header checksum flipped, for bad-checksum paths. *)

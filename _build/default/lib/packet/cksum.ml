@@ -1,0 +1,39 @@
+let ones_sum ?(acc = 0) b ~pos ~len =
+  let sum = ref acc in
+  let i = ref pos in
+  let stop = pos + len in
+  while !i + 1 < stop do
+    sum := !sum + Bitops.get_u16_be b !i;
+    i := !i + 2
+  done;
+  if !i < stop then sum := !sum + (Bitops.get_u8 b !i lsl 8);
+  !sum
+
+let finish sum =
+  let s = ref sum in
+  while !s lsr 16 <> 0 do
+    s := (!s land 0xffff) + (!s lsr 16)
+  done;
+  lnot !s land 0xffff
+
+let ipv4_header b ~off =
+  let ihl = (Bitops.get_u8 b off land 0x0f) * 4 in
+  (* Sum with the checksum field (bytes 10-11) zeroed. *)
+  let sum = ones_sum b ~pos:off ~len:ihl in
+  let stored = Bitops.get_u16_be b (off + 10) in
+  finish (sum - stored)
+
+let l4 b ~(v : Pkt.view) ~total_len =
+  if (not v.is_ipv4) || v.l4_off < 0 then None
+  else begin
+    let l4_len = total_len - v.l4_off in
+    (* IPv4 pseudo-header: src, dst, zero+proto, L4 length. *)
+    let pseudo =
+      ones_sum b ~pos:(v.l3_off + 12) ~len:8 + v.l4_proto + l4_len
+    in
+    let sum = ones_sum ~acc:pseudo b ~pos:v.l4_off ~len:l4_len in
+    (* Subtract the stored checksum field so it counts as zero. *)
+    let csum_off = if v.l4_proto = Hdr.Proto.tcp then v.l4_off + 16 else v.l4_off + 6 in
+    let stored = Bitops.get_u16_be b csum_off in
+    Some (finish (sum - stored))
+  end

@@ -1,0 +1,18 @@
+(** RFC 1071 internet checksum. *)
+
+val ones_sum : ?acc:int -> bytes -> pos:int -> len:int -> int
+(** One's-complement 16-bit sum of a byte range, folding carries.
+    Odd trailing byte is padded with zero, per RFC 1071. [acc] seeds the
+    sum (for pseudo-headers). *)
+
+val finish : int -> int
+(** Final fold + complement, yielding the 16-bit checksum field value. *)
+
+val ipv4_header : bytes -> off:int -> int
+(** Checksum of the IPv4 header starting at [off] (reads IHL itself),
+    computed with the checksum field treated as zero. *)
+
+val l4 : bytes -> v:Pkt.view -> total_len:int -> int option
+(** TCP/UDP checksum over IPv4 pseudo-header + L4 segment, with the
+    in-packet checksum field treated as zero. [None] for non-IPv4 or
+    missing L4. [total_len] is the packet length. *)

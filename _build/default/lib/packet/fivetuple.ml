@@ -1,0 +1,41 @@
+type t = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+let make ~src_ip ~dst_ip ~src_port ~dst_port ~proto =
+  { src_ip; dst_ip; src_port; dst_port; proto }
+
+let of_pkt pkt (v : Pkt.view) =
+  if v.is_ipv4 && (v.l4_proto = Hdr.Proto.tcp || v.l4_proto = Hdr.Proto.udp) && v.l4_off >= 0
+  then
+    Some
+      {
+        src_ip = Pkt.ipv4_src pkt v;
+        dst_ip = Pkt.ipv4_dst pkt v;
+        src_port = v.src_port;
+        dst_port = v.dst_port;
+        proto = v.l4_proto;
+      }
+  else None
+
+let compare = Stdlib.compare
+let equal a b = compare a b = 0
+
+let hash_fold t =
+  let h = Hashtbl.hash (t.src_ip, t.dst_ip) in
+  Hashtbl.hash (h, t.src_port, t.dst_port, t.proto)
+
+let pp_ip ppf (ip : int32) =
+  let b n = Int32.to_int (Int32.logand (Int32.shift_right_logical ip n) 0xffl) in
+  Format.fprintf ppf "%d.%d.%d.%d" (b 24) (b 16) (b 8) (b 0)
+
+let pp ppf t =
+  Format.fprintf ppf "%a:%d -> %a:%d (%s)" pp_ip t.src_ip t.src_port pp_ip t.dst_ip
+    t.dst_port
+    (if t.proto = Hdr.Proto.tcp then "tcp"
+     else if t.proto = Hdr.Proto.udp then "udp"
+     else string_of_int t.proto)

@@ -1,0 +1,22 @@
+(** Connection 5-tuples, the unit of flow identity for RSS and flow IDs. *)
+
+type t = {
+  src_ip : int32;
+  dst_ip : int32;
+  src_port : int;
+  dst_port : int;
+  proto : int;
+}
+
+val make :
+  src_ip:int32 -> dst_ip:int32 -> src_port:int -> dst_port:int -> proto:int -> t
+
+val of_pkt : Pkt.t -> Pkt.view -> t option
+(** [None] when the packet is not IPv4 TCP/UDP. *)
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash_fold : t -> int
+(** A cheap structural hash (not RSS; see {!Softnic.Toeplitz} for that). *)
+
+val pp : Format.formatter -> t -> unit

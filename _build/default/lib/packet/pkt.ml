@@ -1,0 +1,145 @@
+type t = { buf : bytes; len : int }
+
+let create buf = { buf; len = Bytes.length buf }
+
+let sub buf ~len =
+  assert (len <= Bytes.length buf);
+  { buf; len }
+
+let len t = t.len
+
+type view = {
+  l2_off : int;
+  vlan_off : int;
+  vlan_tci : int;
+  ethertype : int;
+  l3_off : int;
+  is_ipv4 : bool;
+  is_ipv6 : bool;
+  l4_proto : int;
+  l4_off : int;
+  payload_off : int;
+  src_port : int;
+  dst_port : int;
+}
+
+let no_view =
+  {
+    l2_off = 0;
+    vlan_off = -1;
+    vlan_tci = 0;
+    ethertype = -1;
+    l3_off = -1;
+    is_ipv4 = false;
+    is_ipv6 = false;
+    l4_proto = -1;
+    l4_off = -1;
+    payload_off = -1;
+    src_port = 0;
+    dst_port = 0;
+  }
+
+let parse t =
+  let b = t.buf in
+  if t.len < Hdr.eth_len then no_view
+  else begin
+    let ethertype = ref (Bitops.get_u16_be b 12) in
+    let off = ref Hdr.eth_len in
+    let vlan_off = ref (-1) in
+    let vlan_tci = ref 0 in
+    (* Skip up to two stacked 802.1Q tags, remembering the outermost TCI. *)
+    let tags = ref 0 in
+    while !ethertype = Hdr.Ethertype.vlan && !tags < 2 && !off + Hdr.vlan_len <= t.len do
+      if !vlan_off = -1 then begin
+        vlan_off := !off;
+        vlan_tci := Bitops.get_u16_be b !off
+      end;
+      ethertype := Bitops.get_u16_be b (!off + 2);
+      off := !off + Hdr.vlan_len;
+      incr tags
+    done;
+    let v =
+      { no_view with vlan_off = !vlan_off; vlan_tci = !vlan_tci; ethertype = !ethertype }
+    in
+    if !ethertype = Hdr.Ethertype.ipv4 && !off + Hdr.ipv4_min_len <= t.len then begin
+      let l3 = !off in
+      let ihl = (Bitops.get_u8 b l3 land 0x0f) * 4 in
+      if ihl < Hdr.ipv4_min_len || l3 + ihl > t.len then { v with l3_off = l3; is_ipv4 = true }
+      else begin
+        let proto = Bitops.get_u8 b (l3 + 9) in
+        let l4 = l3 + ihl in
+        let v = { v with l3_off = l3; is_ipv4 = true; l4_proto = proto } in
+        if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then
+          let doff = (Bitops.get_u8 b (l4 + 12) lsr 4) * 4 in
+          {
+            v with
+            l4_off = l4;
+            payload_off = min (l4 + doff) t.len;
+            src_port = Bitops.get_u16_be b l4;
+            dst_port = Bitops.get_u16_be b (l4 + 2);
+          }
+        else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then
+          {
+            v with
+            l4_off = l4;
+            payload_off = l4 + Hdr.udp_len;
+            src_port = Bitops.get_u16_be b l4;
+            dst_port = Bitops.get_u16_be b (l4 + 2);
+          }
+        else v
+      end
+    end
+    else if !ethertype = Hdr.Ethertype.ipv6 && !off + Hdr.ipv6_len <= t.len then begin
+      let l3 = !off in
+      let proto = Bitops.get_u8 b (l3 + 6) in
+      let l4 = l3 + Hdr.ipv6_len in
+      let v = { v with l3_off = l3; is_ipv6 = true; l4_proto = proto } in
+      if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then
+        let doff = (Bitops.get_u8 b (l4 + 12) lsr 4) * 4 in
+        {
+          v with
+          l4_off = l4;
+          payload_off = min (l4 + doff) t.len;
+          src_port = Bitops.get_u16_be b l4;
+          dst_port = Bitops.get_u16_be b (l4 + 2);
+        }
+      else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then
+        {
+          v with
+          l4_off = l4;
+          payload_off = l4 + Hdr.udp_len;
+          src_port = Bitops.get_u16_be b l4;
+          dst_port = Bitops.get_u16_be b (l4 + 2);
+        }
+      else v
+    end
+    else v
+  end
+
+let ipv4_src t v = Bitops.get_u32_be t.buf (v.l3_off + 12)
+let ipv4_dst t v = Bitops.get_u32_be t.buf (v.l3_off + 16)
+let ipv4_ihl t v = (Bitops.get_u8 t.buf v.l3_off land 0x0f) * 4
+let ipv4_total_len t v = Bitops.get_u16_be t.buf (v.l3_off + 2)
+let ipv4_id t v = Bitops.get_u16_be t.buf (v.l3_off + 4)
+let ipv4_ttl t v = Bitops.get_u8 t.buf (v.l3_off + 8)
+let ipv4_hdr_checksum t v = Bitops.get_u16_be t.buf (v.l3_off + 10)
+let ipv6_src t v = Bytes.sub t.buf (v.l3_off + 8) 16
+let ipv6_dst t v = Bytes.sub t.buf (v.l3_off + 24) 16
+
+let equal a b =
+  a.len = b.len && Bytes.equal (Bytes.sub a.buf 0 a.len) (Bytes.sub b.buf 0 b.len)
+
+let pp ppf t =
+  let v = parse t in
+  let layer =
+    if v.is_ipv4 then "ipv4"
+    else if v.is_ipv6 then "ipv6"
+    else Printf.sprintf "eth:0x%04x" v.ethertype
+  in
+  let l4 =
+    if v.l4_proto = Hdr.Proto.tcp then Printf.sprintf "/tcp %d>%d" v.src_port v.dst_port
+    else if v.l4_proto = Hdr.Proto.udp then Printf.sprintf "/udp %d>%d" v.src_port v.dst_port
+    else ""
+  in
+  Format.fprintf ppf "pkt[%dB %s%s%s]" t.len layer l4
+    (if v.vlan_off >= 0 then Printf.sprintf " vlan:%d" (v.vlan_tci land 0xfff) else "")

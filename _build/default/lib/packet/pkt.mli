@@ -1,0 +1,63 @@
+(** Packet buffers and a lazily-parsed protocol view.
+
+    A [t] owns a byte buffer and a length. The [view] type is the result of
+    parsing the standard Ethernet / 802.1Q / IPv4 / IPv6 / TCP / UDP ladder;
+    it records header offsets rather than copying fields, so accessors read
+    straight from the buffer (the zero-copy discipline drivers use). *)
+
+type t = { buf : bytes; len : int }
+
+val create : bytes -> t
+(** Wrap a whole buffer. *)
+
+val sub : bytes -> len:int -> t
+(** Wrap the first [len] bytes. Requires [len <= Bytes.length buf]. *)
+
+val len : t -> int
+
+(** Where each parsed layer starts, [-1] when absent. *)
+type view = {
+  l2_off : int;
+  vlan_off : int;  (** first 802.1Q tag, or -1 *)
+  vlan_tci : int;  (** TCI of the first tag, or 0 *)
+  ethertype : int; (** inner ethertype after any VLAN tags *)
+  l3_off : int;    (** -1 if not IP *)
+  is_ipv4 : bool;
+  is_ipv6 : bool;
+  l4_proto : int;  (** -1 when no L3 *)
+  l4_off : int;    (** -1 when L4 missing/truncated *)
+  payload_off : int; (** -1 when L4 missing *)
+  src_port : int;  (** 0 when no TCP/UDP *)
+  dst_port : int;
+}
+
+val parse : t -> view
+(** Parse the layering. Never raises: truncated or unknown layers yield
+    [-1] offsets. At most two stacked VLAN tags are skipped. *)
+
+(** {1 Field reads used by software offload implementations} *)
+
+val ipv4_src : t -> view -> int32
+
+val ipv4_dst : t -> view -> int32
+
+(** Header length in bytes. *)
+val ipv4_ihl : t -> view -> int
+
+val ipv4_total_len : t -> view -> int
+
+val ipv4_id : t -> view -> int
+
+val ipv4_ttl : t -> view -> int
+
+val ipv4_hdr_checksum : t -> view -> int
+
+(** 16 bytes. *)
+val ipv6_src : t -> view -> bytes
+
+val ipv6_dst : t -> view -> bytes
+
+val equal : t -> t -> bool
+
+(** Short summary line: length plus parsed layering. *)
+val pp : Format.formatter -> t -> unit

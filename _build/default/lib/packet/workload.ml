@@ -1,0 +1,120 @@
+type profile =
+  | Min_size
+  | Imix
+  | Large
+  | Kvs of { key_len : int }
+  | Raw_stream of { size : int }
+  | Vlan_tagged
+  | Ipv6_mix
+  | Zipf of { alpha : float }
+
+type t = {
+  rng : Rng.t;
+  profile : profile;
+  flow_table : Fivetuple.t array;
+  mutable seq : int;
+}
+
+let gen_flow rng proto =
+  (* 10.0.0.0/16 sources to 192.168.0.0/24 servers on a few service ports. *)
+  let src_ip = Int32.logor 0x0a000000l (Int32.of_int (Rng.int rng 0x10000)) in
+  let dst_ip = Int32.logor 0xc0a80000l (Int32.of_int (Rng.int rng 256)) in
+  let src_port = Rng.int_in rng 1024 65535 in
+  let dst_port = Rng.choice rng [| 80; 443; 11211; 53; 8080 |] in
+  Fivetuple.make ~src_ip ~dst_ip ~src_port ~dst_port ~proto
+
+let proto_of = function
+  | Kvs _ -> Hdr.Proto.udp
+  | Min_size | Imix | Large | Vlan_tagged | Raw_stream _ | Ipv6_mix | Zipf _ ->
+      Hdr.Proto.tcp
+
+let make ?(seed = 42L) ?(flows = 64) profile =
+  assert (flows > 0);
+  let rng = Rng.create seed in
+  let proto = proto_of profile in
+  let flow_table = Array.init flows (fun _ -> gen_flow rng proto) in
+  { rng; profile; flow_table; seq = 0 }
+
+let flow_of t i = t.flow_table.(i mod Array.length t.flow_table)
+let flows t = Array.length t.flow_table
+
+(* Ethernet+IPv4+TCP is 54 B; pad the payload so the frame reaches [frame]. *)
+let tcp_of_frame_size t frame =
+  let flow = Rng.choice t.rng t.flow_table in
+  let payload_len = max 0 (frame - 54) in
+  t.seq <- t.seq + 1;
+  Builder.ipv4 ~l4_csum:true
+    ~payload:(Bytes.make payload_len 'x')
+    ~ip_id:(t.seq land 0xffff)
+    ~flow
+    (Builder.Tcp { seq = Int32.of_int (t.seq * 1460); flags = 0x10 })
+
+let next t =
+  match t.profile with
+  | Min_size -> tcp_of_frame_size t 64
+  | Large -> tcp_of_frame_size t 1518
+  | Imix ->
+      let size = Rng.weighted t.rng [ (7, 64); (4, 594); (1, 1518) ] in
+      tcp_of_frame_size t size
+  | Vlan_tagged ->
+      let flow = Rng.choice t.rng t.flow_table in
+      t.seq <- t.seq + 1;
+      Builder.ipv4 ~vlan:(100 + (t.seq mod 16)) ~l4_csum:true
+        ~payload:(Bytes.make 74 'x') ~flow
+        (Builder.Tcp { seq = Int32.of_int t.seq; flags = 0x10 })
+  | Kvs { key_len } ->
+      let flow = Rng.choice t.rng t.flow_table in
+      let key =
+        String.init key_len (fun _ -> Char.chr (Char.code 'a' + Rng.int t.rng 26))
+      in
+      Builder.kvs_get ~flow ~key
+  | Raw_stream { size } -> Builder.raw ~len:size ~fill:'r'
+  | Ipv6_mix ->
+      let flow = Rng.choice t.rng t.flow_table in
+      t.seq <- t.seq + 1;
+      if t.seq land 1 = 0 then
+        Builder.ipv4 ~flow ~payload:(Bytes.make 32 'x')
+          (Builder.Tcp { seq = Int32.of_int t.seq; flags = 0x10 })
+      else begin
+        (* Stable v6 addresses derived from the v4 flow endpoints. *)
+        let v6 prefix ip =
+          let b = Bytes.make 16 '\x00' in
+          Bytes.set b 0 prefix;
+          Bytes.set_int32_be b 12 ip;
+          b
+        in
+        Builder.ipv6
+          ~src:(v6 '\x20' flow.src_ip)
+          ~dst:(v6 '\x20' flow.dst_ip)
+          ~src_port:flow.src_port ~dst_port:flow.dst_port
+          ~payload:(Bytes.make 32 'x')
+          (Builder.Tcp { seq = Int32.of_int t.seq; flags = 0x10 })
+      end
+
+  | Zipf { alpha } ->
+      (* Inverse-CDF sampling over the flow table's ranks. *)
+      let n = Array.length t.flow_table in
+      let weights = Array.init n (fun i -> 1.0 /. Float.pow (float_of_int (i + 1)) alpha) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let u = Rng.float t.rng *. total in
+      let rec pick i acc =
+        if i >= n - 1 then i
+        else if acc +. weights.(i) >= u then i
+        else pick (i + 1) (acc +. weights.(i))
+      in
+      let flow = t.flow_table.(pick 0 0.0) in
+      t.seq <- t.seq + 1;
+      Builder.ipv4 ~flow ~ip_id:(t.seq land 0xffff)
+        (Builder.Tcp { seq = Int32.of_int t.seq; flags = 0x10 })
+
+let batch t n = Array.init n (fun _ -> next t)
+
+let profile_name = function
+  | Min_size -> "min-size-64B"
+  | Imix -> "imix"
+  | Large -> "large-1518B"
+  | Kvs { key_len } -> Printf.sprintf "kvs-get-key%d" key_len
+  | Raw_stream { size } -> Printf.sprintf "raw-stream-%dB" size
+  | Vlan_tagged -> "vlan-tagged"
+  | Ipv6_mix -> "ipv6-mix"
+  | Zipf { alpha } -> Printf.sprintf "zipf-%.1f" alpha

@@ -1,0 +1,37 @@
+(** Reproducible synthetic traffic for experiments.
+
+    Profiles mirror the workloads the paper's motivation cites: minimum-size
+    stress traffic (driver-bound), IMIX-like mixes, KVS request streams, and
+    raw-payload streams for the streaming-interface comparison. *)
+
+type profile =
+  | Min_size  (** 64 B TCP packets, driver-datapath stress *)
+  | Imix  (** 7:4:1 mix of 64/594/1518 B, classic IMIX *)
+  | Large  (** 1518 B TCP *)
+  | Kvs of { key_len : int }  (** UDP memcached-style GETs *)
+  | Raw_stream of { size : int }  (** non-IP frames, payload-processing *)
+  | Vlan_tagged  (** 128 B TCP with 802.1Q tags *)
+  | Ipv6_mix  (** 50/50 IPv4/IPv6 TCP at 86 B *)
+  | Zipf of { alpha : float }
+      (** 64 B TCP with Zipf-distributed flow popularity — heavy-hitter
+          traffic (flow 1 dominates), the regime load-aware steering
+          (RSS++-style) is built for *)
+
+type t
+
+val make : ?seed:int64 -> ?flows:int -> profile -> t
+(** [make profile] builds a generator over [flows] (default 64) distinct
+    5-tuples. Same seed, same stream. *)
+
+val next : t -> Pkt.t
+(** Draw the next packet. *)
+
+val batch : t -> int -> Pkt.t array
+(** Draw [n] packets. *)
+
+val flow_of : t -> int -> Fivetuple.t
+(** The [i]-th flow in the generator's flow table (for assertions). *)
+
+val flows : t -> int
+
+val profile_name : profile -> string

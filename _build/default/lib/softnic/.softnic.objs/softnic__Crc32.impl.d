@@ -1,0 +1,1 @@
+lib/softnic/crc32.ml: Array Bytes Char Int32 Lazy Packet

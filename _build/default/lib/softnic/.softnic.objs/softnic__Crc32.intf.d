@@ -1,0 +1,1 @@
+lib/softnic/crc32.mli: Packet

@@ -1,0 +1,1 @@
+lib/softnic/feature.ml: Hashtbl Packet Toeplitz Tstamp

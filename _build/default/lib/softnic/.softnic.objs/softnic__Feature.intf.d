@@ -1,0 +1,1 @@
+lib/softnic/feature.mli: Hashtbl Packet Toeplitz Tstamp

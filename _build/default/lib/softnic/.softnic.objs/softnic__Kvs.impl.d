@@ -1,0 +1,1 @@
+lib/softnic/kvs.ml: Bytes Char Int64 Packet String

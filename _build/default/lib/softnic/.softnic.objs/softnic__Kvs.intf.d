@@ -1,0 +1,1 @@
+lib/softnic/kvs.mli: Packet

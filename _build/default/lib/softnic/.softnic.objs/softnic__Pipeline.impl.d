@@ -1,0 +1,1 @@
+lib/softnic/pipeline.ml: Feature List Packet Registry

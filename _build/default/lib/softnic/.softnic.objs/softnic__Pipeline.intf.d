@@ -1,0 +1,1 @@
+lib/softnic/pipeline.mli: Feature Packet Registry

@@ -1,0 +1,1 @@
+lib/softnic/registry.ml: Crc32 Feature Hashtbl Int64 Kvs List Packet String Toeplitz Tstamp

@@ -1,0 +1,1 @@
+lib/softnic/toeplitz.ml: Bytes Char Int32 Int64 Packet

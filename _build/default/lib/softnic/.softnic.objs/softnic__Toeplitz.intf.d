@@ -1,0 +1,1 @@
+lib/softnic/toeplitz.mli: Packet

@@ -1,0 +1,23 @@
+type env = {
+  clock : Tstamp.t;
+  flow_marks : (Packet.Fivetuple.t, int32) Hashtbl.t;
+  flow_counters : (Packet.Fivetuple.t, int) Hashtbl.t;
+  rss_key : Toeplitz.key;
+}
+
+let make_env ?(rss_key = Toeplitz.default_key) () =
+  {
+    clock = Tstamp.create ();
+    flow_marks = Hashtbl.create 64;
+    flow_counters = Hashtbl.create 64;
+    rss_key;
+  }
+
+type t = {
+  semantic : string;
+  width_bits : int;
+  cost_cycles : float;
+  compute : env -> Packet.Pkt.t -> Packet.Pkt.view -> int64;
+}
+
+let apply t env pkt = t.compute env pkt (Packet.Pkt.parse pkt)

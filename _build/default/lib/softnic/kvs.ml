@@ -1,0 +1,32 @@
+let key_of_payload buf ~pos ~len =
+  if len < 4 then None
+  else if Bytes.sub_string buf pos 4 <> "get " then None
+  else begin
+    (* Key runs to whitespace/CR/LF or end of payload. *)
+    let start = pos + 4 in
+    let stop = pos + len in
+    let rec find_end i =
+      if i >= stop then i
+      else
+        match Bytes.get buf i with ' ' | '\r' | '\n' -> i | _ -> find_end (i + 1)
+    in
+    let e = find_end start in
+    if e = start then None else Some (Bytes.sub_string buf start (e - start))
+  end
+
+let key_of_pkt pkt (v : Packet.Pkt.view) =
+  if v.l4_proto <> Packet.Hdr.Proto.udp || v.payload_off < 0 then None
+  else
+    key_of_payload pkt.Packet.Pkt.buf ~pos:v.payload_off
+      ~len:(pkt.Packet.Pkt.len - v.payload_off)
+
+let fold_key key =
+  let acc = ref 0L in
+  for i = 0 to 7 do
+    let byte = if i < String.length key then Char.code key.[i] else 0 in
+    acc := Int64.logor (Int64.shift_left !acc 8) (Int64.of_int byte)
+  done;
+  !acc
+
+let key64_of_pkt pkt v =
+  match key_of_pkt pkt v with None -> 0L | Some k -> fold_key k

@@ -1,0 +1,21 @@
+(** Key extraction for key-value-store request offload.
+
+    The Figure-1 scenario of the paper: an application wants the NIC to
+    hand it "the key of a key-value-store request" (as FlexNIC did). We
+    parse memcached-text-style GET requests out of UDP payloads. The key is
+    folded to a 64-bit value (first 8 bytes, big-endian, zero-padded) so it
+    fits a descriptor metadata slot. *)
+
+val key_of_payload : bytes -> pos:int -> len:int -> string option
+(** Parse ["get <key>\r\n"] (or without CRLF) from a payload range.
+    [None] when the payload is not a GET. *)
+
+val key_of_pkt : Packet.Pkt.t -> Packet.Pkt.view -> string option
+(** Extract from a UDP packet's payload. *)
+
+val fold_key : string -> int64
+(** First 8 bytes of the key, big-endian, zero-padded on the right.
+    Empty key folds to 0. *)
+
+val key64_of_pkt : Packet.Pkt.t -> Packet.Pkt.view -> int64
+(** [fold_key] of the extracted key, or 0 when not a KVS GET. *)

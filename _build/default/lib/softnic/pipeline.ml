@@ -1,0 +1,26 @@
+type t = { features : Feature.t list; env : Feature.env; cost : float }
+
+let create ?env features =
+  let env = match env with Some e -> e | None -> Feature.make_env () in
+  let cost = List.fold_left (fun acc (f : Feature.t) -> acc +. f.cost_cycles) 0.0 features in
+  { features; env; cost }
+
+let of_semantics ?env registry semantics =
+  let rec collect acc = function
+    | [] -> Ok (List.rev acc)
+    | s :: rest -> (
+        match Registry.find registry s with
+        | Some f -> collect (f :: acc) rest
+        | None -> Error s)
+  in
+  match collect [] semantics with
+  | Error _ as e -> e
+  | Ok features -> Ok (create ?env features)
+
+let run_view t pkt view =
+  List.map (fun (f : Feature.t) -> (f.semantic, f.compute t.env pkt view)) t.features
+
+let run t pkt = run_view t pkt (Packet.Pkt.parse pkt)
+let cost_cycles t = t.cost
+let semantics t = List.map (fun (f : Feature.t) -> f.semantic) t.features
+let env t = t.env

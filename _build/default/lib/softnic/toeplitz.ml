@@ -1,0 +1,60 @@
+type key = bytes
+
+(* Microsoft RSS verification suite key (40 bytes). *)
+let default_key =
+  Bytes.of_string
+    "\x6d\x5a\x56\xda\x25\x5b\x0e\xc2\x41\x67\x25\x3d\x43\xa3\x8f\xb0\xd0\xca\x2b\xcb\xae\x7b\x30\xb4\x77\xcb\x2d\xa3\x80\x30\xf2\x0c\x6a\x42\xb7\x3b\xbe\xac\x01\xfa"
+
+let symmetric_key = Bytes.init 40 (fun i -> if i mod 2 = 0 then '\x6d' else '\x5a')
+
+(* For each set bit i of the input (MSB-first), XOR in the 32-bit window of
+   the key starting at key bit i (Microsoft RSS spec, section "RSS hashing
+   algorithm"). *)
+let hash ?(key = default_key) input =
+  assert (Bytes.length key >= Bytes.length input + 4);
+  let result = ref 0l in
+  for i = 0 to (8 * Bytes.length input) - 1 do
+    let byte = Char.code (Bytes.get input (i / 8)) in
+    if byte land (1 lsl (7 - (i mod 8))) <> 0 then begin
+      let window = Packet.Bitops.get_bits key ~bit_off:i ~width:32 in
+      result := Int32.logxor !result (Int64.to_int32 window)
+    end
+  done;
+  !result
+
+let hash_ipv4_2tuple ?key src dst =
+  let b = Bytes.create 8 in
+  Bytes.set_int32_be b 0 src;
+  Bytes.set_int32_be b 4 dst;
+  hash ?key b
+
+let hash_flow ?key (f : Packet.Fivetuple.t) =
+  let b = Bytes.create 12 in
+  Bytes.set_int32_be b 0 f.src_ip;
+  Bytes.set_int32_be b 4 f.dst_ip;
+  Bytes.set_uint16_be b 8 f.src_port;
+  Bytes.set_uint16_be b 10 f.dst_port;
+  hash ?key b
+
+let hash_ipv6_flow ?key ~src ~dst ~src_port ~dst_port () =
+  assert (Bytes.length src = 16 && Bytes.length dst = 16);
+  let b = Bytes.create 36 in
+  Bytes.blit src 0 b 0 16;
+  Bytes.blit dst 0 b 16 16;
+  Bytes.set_uint16_be b 32 src_port;
+  Bytes.set_uint16_be b 34 dst_port;
+  hash ?key b
+
+let hash_pkt ?key pkt (v : Packet.Pkt.view) =
+  if v.is_ipv4 then
+    match Packet.Fivetuple.of_pkt pkt v with
+    | Some flow -> hash_flow ?key flow
+    | None ->
+        hash_ipv4_2tuple ?key (Packet.Pkt.ipv4_src pkt v) (Packet.Pkt.ipv4_dst pkt v)
+  else if
+    v.is_ipv6 && v.l4_off >= 0
+    && (v.l4_proto = Packet.Hdr.Proto.tcp || v.l4_proto = Packet.Hdr.Proto.udp)
+  then
+    hash_ipv6_flow ?key ~src:(Packet.Pkt.ipv6_src pkt v) ~dst:(Packet.Pkt.ipv6_dst pkt v)
+      ~src_port:v.src_port ~dst_port:v.dst_port ()
+  else 0l

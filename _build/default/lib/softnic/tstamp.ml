@@ -1,0 +1,10 @@
+type t = { step : int64; mutable cur : int64 }
+
+let create ?(step_ns = 100L) ?(start_ns = 1_000_000_000L) () =
+  { step = step_ns; cur = start_ns }
+
+let now t =
+  t.cur <- Int64.add t.cur t.step;
+  t.cur
+
+let peek t = t.cur

@@ -1,0 +1,75 @@
+/* Generated minimalist driver datapath — OpenDesc compiler output.
+ * NIC: e1000-newer. Only the variable portion of the driver is generated;
+ * ring setup, IRQ handling and device bring-up stay in the base
+ * driver, as the paper prescribes (§2 end).
+ */
+#include <stdint.h>
+#include <stddef.h>
+#include <string.h>
+
+#define OPENDESC_e1000_newer_CMPT_SIZE 8
+#define OPENDESC_e1000_newer_TXDESC_SIZE 16
+#define OPENDESC_e1000_newer_CTX_USE_RSS 0
+
+/* Generic MSB-first bit-field extractor for unaligned fields. */
+static inline uint64_t opendesc_get_bits(const uint8_t *p, unsigned bit_off,
+                                         unsigned width) {
+    uint64_t acc = 0;
+    unsigned first = bit_off / 8, last = (bit_off + width - 1) / 8;
+    for (unsigned i = first; i <= last; i++)
+        acc = (acc << 8) | p[i];
+    unsigned slack = (last + 1) * 8 - (bit_off + width);
+    acc >>= slack;
+    return width == 64 ? acc : (acc & ((1ULL << width) - 1));
+}
+
+static inline uint16_t opendesc_e1000_newer_rx_csum(const uint8_t *cmpt) /* @semantic(ip_checksum) */ {
+    return (uint16_t)(((uint64_t)cmpt[2] << 8) | (uint64_t)cmpt[3]);
+}
+
+uint64_t opendesc_soft_rss(const uint8_t *pkt, uint16_t len); /* ~120 cycles */
+
+struct opendesc_e1000_newer_meta {
+    uint64_t rss;
+    uint64_t ip_checksum;
+};
+
+struct opendesc_e1000_newer_rxq {
+    const uint8_t *cmpt_ring;   /* completion records, slot-sized */
+    uint8_t      **pkt_bufs;    /* packet buffer per slot */
+    uint16_t      *pkt_lens;
+    uint32_t       mask;        /* slots - 1 */
+    uint32_t       head;
+};
+
+/* Consume up to n completions; returns packets delivered. */
+static inline int opendesc_e1000_newer_rx_burst(struct opendesc_e1000_newer_rxq *q,
+        struct opendesc_e1000_newer_meta *meta, const uint8_t **pkts,
+        uint16_t *lens, int budget) {
+    int got = 0;
+    while (got < budget) {
+        uint32_t idx = (q->head + got) & q->mask;
+        const uint8_t *cmpt = q->cmpt_ring + (size_t)idx * OPENDESC_e1000_newer_CMPT_SIZE;
+        if (!(cmpt[6] & 0x1)) /* status: completion not ready */
+            break;
+        const uint8_t *pkt = q->pkt_bufs[idx];
+        uint16_t len = q->pkt_lens[idx];
+        meta[got].ip_checksum = opendesc_e1000_newer_rx_csum(cmpt);
+        meta[got].rss = opendesc_soft_rss(pkt, len); /* SoftNIC shim */
+        pkts[got] = pkt;
+        lens[got] = len;
+        got++;
+    }
+    q->head += got;
+    return got;
+}
+
+/* Build one TX descriptor (format #0, 16 bytes). */
+static inline void opendesc_e1000_newer_tx_prepare(uint8_t *desc,
+        uint64_t buf_addr, uint16_t len) {
+    memset(desc, 0, OPENDESC_e1000_newer_TXDESC_SIZE);
+    for (int i = 0; i < 8; i++)
+        desc[0 + i] = (uint8_t)((uint64_t)buf_addr >> (8 * (7 - i)));
+    for (int i = 0; i < 2; i++)
+        desc[8 + i] = (uint8_t)((uint64_t)len >> (8 * (1 - i)));
+}

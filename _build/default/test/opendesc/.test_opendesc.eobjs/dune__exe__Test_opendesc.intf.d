@@ -1,0 +1,1 @@
+test/opendesc/test_opendesc.mli:

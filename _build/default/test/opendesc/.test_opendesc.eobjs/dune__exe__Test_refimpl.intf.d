@@ -1,0 +1,1 @@
+test/opendesc/test_refimpl.mli:
