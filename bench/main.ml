@@ -605,6 +605,145 @@ let micro () =
      recomputation — the gap the Eq. 1 cost model encodes."
 
 (* ================================================================== *)
+(* batch_sweep: the batched datapath — amortised cycles/pkt vs burst size. *)
+
+(* JSON fragments collected by the batch/cache experiments; flushed to
+   BENCH_batch.json after the requested experiments ran. Hand-rolled —
+   flat numbers and strings only, no JSON library needed. *)
+let json_sections : (string * string) list ref = ref []
+
+let record_json name fragment = json_sections := (name, fragment) :: !json_sections
+
+(* Failed acceptance checks (batch monotonicity, cache speedup) turn
+   into a non-zero exit so CI's quick run fails loudly. *)
+let acceptance_failures = ref 0
+
+let acceptance name ok =
+  if not ok then begin
+    incr acceptance_failures;
+    Printf.printf "acceptance check failed: %s\n" name
+  end
+
+let flush_json () =
+  match List.rev !json_sections with
+  | [] -> ()
+  | sections ->
+      let oc = open_out "BENCH_batch.json" in
+      output_string oc "{\n  \"schema\": \"opendesc-bench-v1\",\n";
+      List.iteri
+        (fun i (name, frag) ->
+          Printf.fprintf oc "  %S: %s%s\n" name frag
+            (if i = List.length sections - 1 then "" else ","))
+        sections;
+      output_string oc "}\n";
+      close_out oc;
+      print_endline "\nwrote BENCH_batch.json"
+
+let batch_sizes = [ 1; 8; 32; 64 ]
+
+let batch_sweep () =
+  Bench_util.section
+    "BATCH_SWEEP. Batched harvest + single-doorbell TX: cycles/pkt vs burst size";
+  let model = Nic_models.Mlx5.model () in
+  let requested = [ "rss"; "pkt_len"; "vlan"; "csum_ok" ] in
+  let intent = Opendesc.Intent.make (List.map (fun s -> (s, 32)) requested) in
+  let compiled = Opendesc.Cache.run_exn ~alpha:0.05 ~intent model.spec in
+  let rows =
+    List.map
+      (fun batch ->
+        let device = Driver.Device.create_exn ~config:compiled.config model in
+        let stats =
+          Driver.Stack.run_batched ~pkts:4096 ~batch ~tx_echo:true ~device
+            ~workload:(Packet.Workload.make ~seed:53L Packet.Workload.Min_size)
+            (Driver.Hoststacks.opendesc_batched ~compiled)
+        in
+        let stats =
+          { stats with Driver.Stats.name = Printf.sprintf "opendesc batch=%d" batch }
+        in
+        (batch, stats, Driver.Device.doorbells device))
+      batch_sizes
+  in
+  Format.printf "%a@." Driver.Stats.pp_table (List.map (fun (_, s, _) -> s) rows);
+  List.iter
+    (fun (_, s, doorbells) ->
+      Format.printf "  %-22s %a, %d TX doorbells@." s.Driver.Stats.name
+        Driver.Stats.pp_burst_hist s doorbells)
+    rows;
+  let cycles = List.map (fun (_, s, _) -> s.Driver.Stats.cycles_per_pkt) rows in
+  let rec non_increasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && non_increasing rest
+    | _ -> true
+  in
+  let mono = non_increasing cycles in
+  Printf.printf "\namortised cycles/pkt monotonically non-increasing in batch: %s\n"
+    (if mono then "yes" else "NO — regression!");
+  acceptance "batch_sweep monotonicity" mono;
+  let points =
+    String.concat ",\n"
+      (List.map
+         (fun (batch, s, doorbells) ->
+           Printf.sprintf
+             "      { \"batch\": %d, \"cycles_per_pkt\": %.2f, \"mpps\": %.3f, \
+              \"dma_bytes_per_pkt\": %.1f, \"bursts\": %d, \"tx_doorbells\": %d }"
+             batch s.Driver.Stats.cycles_per_pkt s.Driver.Stats.pps_m
+             s.Driver.Stats.dma_bytes_per_pkt s.Driver.Stats.bursts doorbells)
+         rows)
+  in
+  record_json "batch_sweep"
+    (Printf.sprintf
+       "{\n    \"nic\": %S,\n    \"stack\": \"opendesc-batched\",\n    \"pkts\": \
+        4096,\n    \"tx_echo\": true,\n    \"points\": [\n%s\n    ],\n    \
+        \"monotonic_non_increasing\": %b\n  }"
+       model.spec.nic_name points mono)
+
+(* ================================================================== *)
+(* compile_cache: memoized Compile.run — warm lookup vs cold pipeline. *)
+
+(* CPU-time of one [f ()] call in ns, timed over an adaptive batch loop
+   so the clock reads don't dominate sub-microsecond bodies. *)
+let ns_per_call ?(budget = 0.25) f =
+  ignore (f ());
+  let t0 = Sys.time () in
+  let n = ref 0 in
+  while Sys.time () -. t0 < budget do
+    for _ = 1 to 256 do
+      ignore (f ())
+    done;
+    n := !n + 256
+  done;
+  (Sys.time () -. t0) /. float_of_int !n *. 1e9
+
+let compile_cache () =
+  Bench_util.section
+    "COMPILE_CACHE. Memoized compilation: warm cache lookup vs cold pipeline";
+  let model = Nic_models.Mlx5.model () in
+  let intent = fig1_intent in
+  Opendesc.Cache.clear ();
+  (* Cold: the full pipeline — registry construction, Eq. 1 solve,
+     accessor synthesis — exactly what every call paid before the cache. *)
+  let cold_ns =
+    ns_per_call (fun () -> Opendesc.Compile.run ~intent model.spec)
+  in
+  (* Warm: key construction + one hash lookup. *)
+  let warm_ns = ns_per_call (fun () -> Opendesc.Cache.run ~intent model.spec) in
+  let speedup = cold_ns /. warm_ns in
+  let s = Opendesc.Cache.stats () in
+  Printf.printf "cold Compile.run : %10.0f ns/call\n" cold_ns;
+  Printf.printf "warm Cache.run   : %10.0f ns/call\n" warm_ns;
+  Printf.printf "speedup          : %10.1fx (acceptance: >= 10x)  %s\n" speedup
+    (if speedup >= 10.0 then "ok" else "BELOW TARGET");
+  acceptance "compile_cache >= 10x warm speedup" (speedup >= 10.0);
+  Printf.printf "%s\n" (Opendesc.Cache.stats_line ());
+  record_json "compile_cache"
+    (Printf.sprintf
+       "{\n    \"nic\": %S,\n    \"intent\": %S,\n    \"cold_ns_per_compile\": \
+        %.0f,\n    \"warm_ns_per_compile\": %.0f,\n    \"speedup\": %.1f,\n    \
+        \"meets_10x\": %b,\n    \"hits\": %d,\n    \"misses\": %d\n  }"
+       model.spec.nic_name
+       (Opendesc.Intent.canonical intent)
+       cold_ns warm_ns speedup (speedup >= 10.0) s.hits s.misses)
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -623,11 +762,18 @@ let experiments =
     ("c9", c9);
     ("p4shim", p4shim);
     ("micro", micro);
+    ("batch_sweep", batch_sweep);
+    ("compile_cache", compile_cache);
   ]
+
+(* The CI smoke subset: fast, no bechamel, covers compiler + batched
+   datapath + cache. *)
+let quick_set = [ "f1"; "batch_sweep"; "compile_cache" ]
 
 let () =
   let requested =
     match Array.to_list Sys.argv with
+    | _ :: [ "--quick" ] -> quick_set
     | _ :: (_ :: _ as ids) -> ids
     | _ -> List.map fst experiments
   in
@@ -637,6 +783,8 @@ let () =
       | Some f -> f ()
       | None ->
           Printf.eprintf "unknown experiment %S; available: %s\n" id
-            (String.concat " " (List.map fst experiments));
+            (String.concat " " (List.map fst experiments @ [ "--quick" ]));
           exit 2)
-    requested
+    requested;
+  flush_json ();
+  if !acceptance_failures > 0 then exit 1

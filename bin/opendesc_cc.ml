@@ -184,7 +184,16 @@ let compile_cmd =
       & info [ "emit-datapath" ] ~docv:"FILE"
           ~doc:"Write the complete generated C driver datapath to FILE.")
   in
-  let run nic semantics intent_file alpha emit_c emit_ebpf emit_datapath =
+  let no_cache_arg =
+    Arg.(
+      value & flag
+      & info [ "no-cache" ]
+          ~doc:
+            "Bypass the memoized compile cache and run the full pipeline. The \
+             cache is also bypassed (automatically) when --intent registers \
+             custom semantics, which the cache key cannot see.")
+  in
+  let run nic semantics intent_file alpha no_cache emit_c emit_ebpf emit_datapath =
     let registry = Opendesc.Semantic.default () in
     match intent_of_args ~semantics ~intent_file registry with
     | Error e -> fail "%s" e
@@ -192,10 +201,19 @@ let compile_cmd =
         match load_nic ~intent nic with
         | Error e -> fail "%s" e
         | Ok spec -> (
-            match Opendesc.Compile.run ~alpha ~registry ~intent spec with
+            (* An --intent file may have registered custom semantics into
+               [registry]; the cache memoizes default-registry runs only. *)
+            let use_cache = (not no_cache) && intent_file = None in
+            match
+              if use_cache then Opendesc.Cache.run ~alpha ~intent spec
+              else Opendesc.Compile.run ~alpha ~registry ~intent spec
+            with
             | Error e -> fail "%s" e
             | Ok compiled ->
                 print_endline (Opendesc.Report.to_string compiled);
+                print_endline
+                  (if use_cache then Opendesc.Cache.stats_line ()
+                   else "compile cache: bypassed");
                 let write path contents =
                   let oc = open_out path in
                   output_string oc contents;
@@ -220,8 +238,8 @@ let compile_cmd =
           accessors.")
     Term.(
       ret
-        (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg $ emit_c_arg
-       $ emit_ebpf_arg $ emit_datapath_arg))
+        (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
+       $ no_cache_arg $ emit_c_arg $ emit_ebpf_arg $ emit_datapath_arg))
 
 (* --- placement ------------------------------------------------------ *)
 

@@ -25,6 +25,7 @@ module K = struct
   let xdp_prologue = 12.0
   let ring_advance = 6.0
   let refill = 8.0
+  let doorbell = 40.0
   let payload_touch_per_byte = 0.55
   let stream_copy_per_byte = 0.22
   let pipeline_fixed = 140.0

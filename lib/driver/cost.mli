@@ -57,6 +57,12 @@ module K : sig
   val refill : float
   (** RX buffer refill, amortised per packet. *)
 
+  val doorbell : float
+  (** One MMIO tail-pointer write (uncached store crossing PCIe). Charged
+      once per harvest/post burst by the batched datapath; the unbatched
+      constants above already fold an amortised share into
+      {!ring_advance}. *)
+
   val payload_touch_per_byte : float
   (** Application payload processing. *)
 

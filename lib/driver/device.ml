@@ -12,6 +12,15 @@ type t = {
   mutable tx_count : int;
   mutable drops : int;
   mutable tx_pkt_bytes_read : int;
+  mutable doorbells : int;
+}
+
+type burst = {
+  bs_pkts : bytes array;
+  bs_lens : int array;
+  bs_cmpts : bytes array;
+  bs_cmpt_lens : int array;
+  mutable bs_count : int;
 }
 
 let normalize a = List.sort (fun (k1, _) (k2, _) -> String.compare k1 k2) a
@@ -67,6 +76,7 @@ let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.M
           tx_count = 0;
           drops = 0;
           tx_pkt_bytes_read = 0;
+          doorbells = 0;
         }
 
 let create_exn ?queue_depth ?buf_size ~config model =
@@ -130,10 +140,48 @@ let rx_consume t =
           let cmpt = Bytes.sub cmpt 0 t.active_path.p_layout.size_bytes in
           Some (pkt, len, cmpt))
 
+let burst_create ?(capacity = 64) t =
+  assert (capacity > 0);
+  {
+    bs_pkts = Array.init capacity (fun _ -> Bytes.create (Ring.slot_size t.pkt_ring));
+    bs_lens = Array.make capacity 0;
+    bs_cmpts = Array.init capacity (fun _ -> Bytes.create (Ring.slot_size t.cmpt_ring));
+    bs_cmpt_lens = Array.make capacity 0;
+    bs_count = 0;
+  }
+
+let burst_capacity b = Array.length b.bs_pkts
+
+let rx_consume_batch t (b : burst) =
+  b.bs_count <- 0;
+  let n = min (burst_capacity b) (Ring.available t.cmpt_ring) in
+  let cmpt_len = t.active_path.p_layout.size_bytes in
+  for i = 0 to n - 1 do
+    let ok1 = Ring.consume_host_into t.cmpt_ring b.bs_cmpts.(i) in
+    let ok2 = Ring.consume_host_into t.pkt_ring b.bs_pkts.(i) in
+    assert (ok1 && ok2);
+    (* Strip the 2-byte length prefix in place (overlapping blit is a
+       memmove) so the payload starts at offset 0 like {!rx_consume}. *)
+    let len = Bytes.get_uint16_le b.bs_pkts.(i) 0 in
+    Bytes.blit b.bs_pkts.(i) 2 b.bs_pkts.(i) 0 len;
+    b.bs_lens.(i) <- len;
+    b.bs_cmpt_lens.(i) <- cmpt_len
+  done;
+  b.bs_count <- n;
+  n
+
 let tx_format t = t.tx_format
 let set_tx_format t f = t.tx_format <- Some f
 
-let tx_post t desc = Ring.produce_host t.tx_ring desc
+let tx_post t desc =
+  let ok = Ring.produce_host t.tx_ring desc in
+  if ok then t.doorbells <- t.doorbells + 1;
+  ok
+
+let tx_post_batch t descs =
+  let posted = Ring.produce_host_batch t.tx_ring descs in
+  if posted > 0 then t.doorbells <- t.doorbells + 1;
+  posted
 
 let tx_process t ~fetch =
   match t.tx_format with
@@ -166,6 +214,7 @@ let tx_process t ~fetch =
 let rx_count t = t.rx_count
 let tx_count t = t.tx_count
 let drops t = t.drops
+let doorbells t = t.doorbells
 
 let dma_bytes t =
   Dma.dev_written_bytes (Ring.dma t.pkt_ring)
@@ -178,6 +227,7 @@ let reset_counters t =
   t.tx_count <- 0;
   t.drops <- 0;
   t.tx_pkt_bytes_read <- 0;
+  t.doorbells <- 0;
   Dma.reset_counters (Ring.dma t.pkt_ring);
   Dma.reset_counters (Ring.dma t.cmpt_ring);
   Dma.reset_counters (Ring.dma t.tx_ring)

@@ -16,6 +16,20 @@
 
 type t
 
+type burst = {
+  bs_pkts : bytes array;  (** reusable packet buffers; payload at offset 0 *)
+  bs_lens : int array;  (** packet length per slot *)
+  bs_cmpts : bytes array;
+      (** reusable completion buffers (max-layout-size; only the first
+          [bs_cmpt_lens.(i)] bytes of entry [i] are meaningful) *)
+  bs_cmpt_lens : int array;  (** active completion layout size per slot *)
+  mutable bs_count : int;  (** entries filled by the last harvest *)
+}
+(** A reusable burst buffer: the batched datapath harvests completions
+    into it with zero per-packet allocation. Create one per device with
+    {!burst_create} and reuse it across polls — each harvest overwrites
+    the previous contents. *)
+
 val create :
   ?queue_depth:int ->
   ?buf_size:int ->
@@ -60,6 +74,19 @@ val rx_available : t -> int
 val rx_consume : t -> (bytes * int * bytes) option
 (** Host side: next (packet buffer, packet length, completion record). *)
 
+val burst_create : ?capacity:int -> t -> burst
+(** Allocate a reusable burst buffer sized for this device's rings
+    (default capacity 64). Only valid for the device it was created
+    for. *)
+
+val burst_capacity : burst -> int
+
+val rx_consume_batch : t -> burst -> int
+(** Harvest up to [burst_capacity] ready completions into the burst in
+    one poll, overwriting its previous contents. Returns the number
+    harvested (0 when the ring is empty). Observably equivalent to
+    calling {!rx_consume} that many times. *)
+
 (** {1 Transmit} *)
 
 val tx_format : t -> Opendesc.Descparser.t option
@@ -69,7 +96,13 @@ val tx_format : t -> Opendesc.Descparser.t option
 val set_tx_format : t -> Opendesc.Descparser.t -> unit
 
 val tx_post : t -> bytes -> bool
-(** Host posts a raw TX descriptor. False when the ring is full. *)
+(** Host posts a raw TX descriptor and rings the doorbell. False when
+    the ring is full. *)
+
+val tx_post_batch : t -> bytes list -> int
+(** Host posts a burst of TX descriptors with a {e single} doorbell for
+    the whole burst (none when nothing fits). Returns the number
+    posted; stops at the first full slot. *)
 
 val tx_process : t -> fetch:(int64 -> Packet.Pkt.t option) -> int
 (** Device drains the TX ring: parses each descriptor with the active
@@ -84,6 +117,10 @@ val rx_count : t -> int
 val tx_count : t -> int
 
 val drops : t -> int
+
+val doorbells : t -> int
+(** MMIO doorbell writes the host has issued ({!tx_post} rings one per
+    descriptor; {!tx_post_batch} one per burst). *)
 
 val dma_bytes : t -> int
 (** Total device-side DMA traffic: packets + completions written,

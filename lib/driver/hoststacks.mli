@@ -56,6 +56,12 @@ val minimal :
 
 val opendesc : compiled:Opendesc.Compile.t -> Stack.t
 
+val opendesc_batched : compiled:Opendesc.Compile.t -> Stack.burst_t
+(** The generated runtime consuming whole harvest bursts: ring
+    housekeeping, refill, doorbell and the (contiguous) completion-array
+    load are charged once per burst; accessor reads and shims stay
+    per-packet. Decodes exactly the same values as {!opendesc}. *)
+
 val run_asni :
   ?pkts:int ->
   ?frame_pkts:int ->

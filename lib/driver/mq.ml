@@ -35,3 +35,21 @@ let steer t pkt =
 let rx_inject t pkt = Device.rx_inject t.devices.(steer t pkt) pkt
 
 let rx_counts t = Array.map Device.rx_count t.devices
+
+let bursts ?capacity t =
+  Array.map (fun d -> Device.burst_create ?capacity d) t.devices
+
+let rx_consume_batch t i burst = Device.rx_consume_batch t.devices.(i) burst
+
+let drain_batched t bursts ~f =
+  assert (Array.length bursts = Array.length t.devices);
+  let total = ref 0 in
+  Array.iteri
+    (fun i d ->
+      let n = Device.rx_consume_batch d bursts.(i) in
+      if n > 0 then begin
+        total := !total + n;
+        f i bursts.(i)
+      end)
+    t.devices;
+  !total

@@ -39,3 +39,14 @@ val rx_inject : t -> Packet.Pkt.t -> bool
 
 val rx_counts : t -> int array
 (** Packets delivered per queue. *)
+
+val bursts : ?capacity:int -> t -> Device.burst array
+(** One reusable burst buffer per queue (see {!Device.burst_create}). *)
+
+val rx_consume_batch : t -> int -> Device.burst -> int
+(** Harvest one queue into its burst buffer. *)
+
+val drain_batched : t -> Device.burst array -> f:(int -> Device.burst -> unit) -> int
+(** One polling sweep: harvest every queue into its burst (as created by
+    {!bursts}) and call [f queue burst] for each non-empty harvest.
+    Returns the total packets harvested across queues. *)

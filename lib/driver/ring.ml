@@ -46,6 +46,17 @@ let consume_host t =
     Some b
   end
 
+let consume_host_into t dst =
+  if is_empty t then false
+  else begin
+    Bytes.blit (Dma.mem t.dma) (off_of t t.cons) dst 0 t.slot_size;
+    t.cons <- t.cons + 1;
+    true
+  end
+
+let produce_host_batch t payloads =
+  List.fold_left (fun n p -> if produce_host t p then n + 1 else n) 0 payloads
+
 let consume_dev t =
   if is_empty t then None
   else begin

@@ -38,6 +38,15 @@ val consume_host : t -> bytes option
 (** Host reads the next slot (not counted; completions already crossed
     the bus when the device produced them). *)
 
+val consume_host_into : t -> bytes -> bool
+(** Like {!consume_host}, but blits the slot into the caller's reusable
+    buffer (which must be at least [slot_size] long) instead of
+    allocating. The batched datapath's harvest primitive. *)
+
+val produce_host_batch : t -> bytes list -> int
+(** Host writes consecutive slots; stops at the first full slot. Returns
+    the number written. *)
+
 val consume_dev : t -> bytes option
 (** Device reads the next slot (counted as DMA — TX descriptor fetch). *)
 

@@ -33,6 +33,38 @@ val run :
     refill are charged by each stack (streaming interfaces amortise
     them; descriptor stacks pay per packet) via {!charge_ring}. *)
 
+(** {1 Batched datapath} *)
+
+type burst_t = {
+  bt_name : string;
+  bt_consume : Cost.t -> Softnic.Feature.env -> Device.burst -> int64;
+}
+(** A burst-at-a-time receive routine: consume every packet of a
+    harvested {!Device.burst}, amortising per-burst machinery (ring
+    housekeeping, doorbell, contiguous descriptor loads) over its
+    [bs_count] packets. *)
+
+val of_per_packet : t -> burst_t
+(** Lift a per-packet stack: consume each burst entry with the original
+    routine. Same values, same per-packet charges — the harvest itself is
+    batched but nothing amortises. *)
+
+val run_batched :
+  ?pkts:int ->
+  ?batch:int ->
+  ?touch_payload:bool ->
+  ?tx_echo:bool ->
+  device:Device.t ->
+  workload:Packet.Workload.t ->
+  burst_t ->
+  Stats.t
+(** The batched counterpart of {!run}: inject in batches (default 32),
+    harvest with {!Device.rx_consume_batch} into one reusable burst
+    buffer, and consume burst-at-a-time. Records the burst-size histogram
+    in the returned stats. [tx_echo] additionally reposts every harvested
+    burst as TX descriptors via {!Device.tx_post_batch} — one doorbell
+    charge per burst — and drains the device, modelling a forwarder. *)
+
 val charge_ring : ?amortize:int -> Cost.t -> unit
 (** Per-packet ring advance + buffer refill, divided by the
     amortisation factor (batched descriptor processing, multi-packet

@@ -7,9 +7,12 @@ type t = {
   dma_bytes_per_pkt : float;
   drops : int;
   breakdown : (string * float) list;
+  bursts : int;
+  burst_hist : (int * int) list;
 }
 
 let make ~name ~pkts ~ledger ~dma_bytes ~drops =
+  let bursts = 0 and burst_hist = [] in
   let cycles_per_pkt = if pkts = 0 then 0.0 else Cost.total ledger /. float_of_int pkts in
   {
     name;
@@ -23,7 +26,15 @@ let make ~name ~pkts ~ledger ~dma_bytes ~drops =
       List.map
         (fun (k, c) -> (k, if pkts = 0 then 0.0 else c /. float_of_int pkts))
         (Cost.breakdown ledger);
+    bursts;
+    burst_hist = List.sort compare burst_hist;
   }
+
+let with_bursts ~bursts ~burst_hist t =
+  { t with bursts; burst_hist = List.sort compare burst_hist }
+
+let avg_burst t =
+  if t.bursts = 0 then 0.0 else float_of_int t.pkts /. float_of_int t.bursts
 
 let pp_row ppf t =
   Format.fprintf ppf "%-26s %8d %10.1f %8.2f %9.1f %10.1f %6d" t.name t.pkts
@@ -34,5 +45,13 @@ let pp_table ppf rows =
     "cycles/pkt" "Mpps" "lat(ns)" "dmaB/pkt" "drops";
   List.iter (fun r -> Format.fprintf ppf "%a@," pp_row r) rows;
   Format.fprintf ppf "@]"
+
+let pp_burst_hist ppf t =
+  if t.bursts = 0 then Format.fprintf ppf "(unbatched)"
+  else begin
+    Format.fprintf ppf "@[<h>%d bursts, avg %.1f pkt/burst:" t.bursts (avg_burst t);
+    List.iter (fun (size, n) -> Format.fprintf ppf " %dx%d" n size) t.burst_hist;
+    Format.fprintf ppf "@]"
+  end
 
 let ratio a b = b.cycles_per_pkt /. a.cycles_per_pkt

@@ -9,6 +9,9 @@ type t = {
   dma_bytes_per_pkt : float;
   drops : int;
   breakdown : (string * float) list;  (** cycles by component, descending *)
+  bursts : int;  (** harvest bursts (0 for the unbatched harness) *)
+  burst_hist : (int * int) list;
+      (** (burst size, occurrences), ascending by size *)
 }
 
 val make :
@@ -18,11 +21,22 @@ val make :
   dma_bytes:int ->
   drops:int ->
   t
+(** [bursts]/[burst_hist] start at zero/empty; the batched harness fills
+    them via {!with_bursts}. *)
+
+val with_bursts : bursts:int -> burst_hist:(int * int) list -> t -> t
+(** Attach the harvest-burst accounting (histogram is sorted). *)
+
+val avg_burst : t -> float
+(** Mean packets per harvest burst; 0 when unbatched. *)
 
 val pp_row : Format.formatter -> t -> unit
 
 val pp_table : Format.formatter -> t list -> unit
 (** Header + one row per entry. *)
+
+val pp_burst_hist : Format.formatter -> t -> unit
+(** One-line burst-size histogram ("Nxsize" pairs). *)
 
 val ratio : t -> t -> float
 (** [ratio a b] = throughput of [a] over [b]. *)

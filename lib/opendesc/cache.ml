@@ -1,0 +1,97 @@
+type stats = { hits : int; misses : int; entries : int }
+
+(* Two-level memo: spec instance ->(physical identity) entry; entry holds
+   the per-(intent, alpha, tx) result table. Distinct spec instances with
+   the same layout fingerprint share one entry, so reloading a catalog
+   still hits. The physical-identity front caches keep a warm lookup free
+   of fingerprint/canonical recomputation; both are bounded. *)
+type entry = {
+  fp : string;
+  results : (string, (Compile.t, string) result) Hashtbl.t;
+}
+
+let specs : (Nic_spec.t * entry) list ref = ref []
+let by_fp : (string, entry) Hashtbl.t = Hashtbl.create 8
+let canonicals : (Intent.t * string) list ref = ref []
+let hits = ref 0
+let misses = ref 0
+let enabled = ref true
+
+let memo_assoc cache key compute =
+  match List.find_opt (fun (k, _) -> k == key) !cache with
+  | Some (_, v) -> v
+  | None ->
+      let v = compute key in
+      let keep =
+        if List.length !cache >= 64 then List.filteri (fun i _ -> i < 63) !cache
+        else !cache
+      in
+      cache := (key, v) :: keep;
+      v
+
+let entry_of nic =
+  memo_assoc specs nic (fun nic ->
+      let fp = Nic_spec.fingerprint nic in
+      match Hashtbl.find_opt by_fp fp with
+      | Some e -> e
+      | None ->
+          let e = { fp; results = Hashtbl.create 8 } in
+          Hashtbl.add by_fp fp e;
+          e)
+
+let canonical_of intent = memo_assoc canonicals intent Intent.canonical
+
+let set_enabled b = enabled := b
+let is_enabled () = !enabled
+
+let clear () =
+  specs := [];
+  canonicals := [];
+  Hashtbl.reset by_fp;
+  hits := 0;
+  misses := 0
+
+let stats () =
+  {
+    hits = !hits;
+    misses = !misses;
+    entries = Hashtbl.fold (fun _ e acc -> acc + Hashtbl.length e.results) by_fp 0;
+  }
+
+let stats_line () =
+  let s = stats () in
+  Printf.sprintf "compile cache: %d hit(s), %d miss(es), %d entr%s" s.hits
+    s.misses s.entries
+    (if s.entries = 1 then "y" else "ies")
+
+let run ?alpha ?tx_intent ~intent (nic : Nic_spec.t) =
+  if not !enabled then Compile.run ?alpha ?tx_intent ~intent nic
+  else begin
+    let e = entry_of nic in
+    (* Same constituents as {!Compile.signature}, minus the fingerprint
+       (fixed per entry); alpha keyed by its exact bits. *)
+    let key =
+      String.concat "\x00"
+        [
+          canonical_of intent;
+          Int64.to_string
+            (Int64.bits_of_float
+               (match alpha with Some a -> a | None -> Select.default_alpha));
+          (match tx_intent with Some i -> canonical_of i | None -> "-");
+        ]
+    in
+    match Hashtbl.find_opt e.results key with
+    | Some r ->
+        incr hits;
+        r
+    | None ->
+        incr misses;
+        let r = Compile.run ?alpha ?tx_intent ~intent nic in
+        Hashtbl.add e.results key r;
+        r
+  end
+
+let run_exn ?alpha ?tx_intent ~intent nic =
+  match run ?alpha ?tx_intent ~intent nic with
+  | Ok t -> t
+  | Error e -> failwith e

@@ -1,0 +1,50 @@
+(** Memoized compilation.
+
+    {!Compile.run} re-enumerates nothing — the paths are already on the
+    spec — but it does re-solve Eq. 1, re-synthesise accessor closures
+    and rebuild both default registries on every call. Callers that
+    compile the same (NIC, intent, alpha) repeatedly — one compilation
+    per queue of a multi-queue device, the portability example walking a
+    NIC catalog, the CLI, benches — hit this process-wide memo table
+    instead: a hash lookup keyed by the constituents of
+    {!Compile.signature} (layout fingerprint, intent canonical form,
+    alpha, TX intent), with physical-identity front caches so a warm
+    lookup recomputes neither fingerprint nor canonical form.
+
+    The cache deliberately does {e not} accept the [?registry]/[?softnic]
+    overrides of {!Compile.run}: a custom registry can change the chosen
+    path or the shim set without changing the key, so such calls must go
+    to {!Compile.run} directly. Cached results are shared — treat a
+    {!Compile.t} obtained here as immutable (in particular, don't
+    [Semantic.register] into its [registry] field).
+
+    Errors are cached too: a NIC that cannot satisfy an intent fails in
+    constant time on every retry. *)
+
+val run :
+  ?alpha:float ->
+  ?tx_intent:Intent.t ->
+  intent:Intent.t ->
+  Nic_spec.t ->
+  (Compile.t, string) result
+(** Like {!Compile.run} with default registries, memoized. *)
+
+val run_exn :
+  ?alpha:float -> ?tx_intent:Intent.t -> intent:Intent.t -> Nic_spec.t -> Compile.t
+
+val set_enabled : bool -> unit
+(** [false] makes {!run} delegate straight to {!Compile.run} (the CLI's
+    [--no-cache]); the table and counters are left untouched. *)
+
+val is_enabled : unit -> bool
+
+val clear : unit -> unit
+(** Drop every entry and zero the counters. *)
+
+type stats = { hits : int; misses : int; entries : int }
+
+val stats : unit -> stats
+
+val stats_line : unit -> string
+(** One human-readable line, e.g. ["compile cache: 7 hit(s), 1 miss(es),
+    1 entry"] — printed by the CLI after compilation. *)

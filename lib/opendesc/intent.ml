@@ -95,6 +95,23 @@ let register_custom_semantics registry (h : P4.Typecheck.header_def) =
   in
   go h.h_fields
 
+(* Hot path of the compile-cache key: no Printf. *)
+let canonical t =
+  let buf = Buffer.create 64 in
+  Buffer.add_string buf t.name;
+  Buffer.add_char buf '{';
+  List.iter
+    (fun f ->
+      Buffer.add_string buf f.if_name;
+      Buffer.add_char buf '=';
+      Buffer.add_string buf f.if_semantic;
+      Buffer.add_char buf ':';
+      Buffer.add_string buf (string_of_int f.if_width);
+      Buffer.add_char buf ';')
+    t.fields;
+  Buffer.add_char buf '}';
+  Buffer.contents buf
+
 let to_p4 t =
   let buf = Buffer.create 128 in
   Buffer.add_string buf (Printf.sprintf "@intent\nheader %s {\n" t.name);

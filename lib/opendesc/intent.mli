@@ -42,6 +42,12 @@ val register_custom_semantics :
     registry, using its [@cost] annotation. Errors if a new semantic
     lacks [@cost]. *)
 
+val canonical : t -> string
+(** A stable, injective textual form of the intent ("name{field=sem:w;…}",
+    declaration order preserved — order is semantically significant: it
+    fixes the binding order of a compilation). Equal intents have equal
+    canonical forms; used as part of the compile-cache key. *)
+
 val to_p4 : t -> string
 (** Render back to a P4 intent header (for reports and tests). *)
 

@@ -156,3 +156,24 @@ let pp ppf t =
     | [] -> ""
     | fs -> Printf.sprintf ", %d TX format(s)" (List.length fs))
     (if t.notes = "" then "" else " — " ^ t.notes)
+
+let fingerprint t =
+  let buf = Buffer.create 128 in
+  Buffer.add_string buf t.nic_name;
+  List.iter
+    (fun (p : Path.t) ->
+      Buffer.add_string buf (Printf.sprintf "|p%d:%dB[" p.p_index (Path.size p));
+      List.iter
+        (fun (f : Path.lfield) ->
+          Buffer.add_string buf
+            (Printf.sprintf "%s:%s@%d+%d;" f.l_name
+               (Option.value ~default:"-" f.l_semantic)
+               f.l_bit_off f.l_bits))
+        p.p_layout.fields;
+      Buffer.add_char buf ']')
+    t.paths;
+  List.iter
+    (fun (f : Descparser.t) ->
+      Buffer.add_string buf (Printf.sprintf "|tx%d:%dB" f.d_index (Descparser.size f)))
+    t.tx_formats;
+  Buffer.contents buf

@@ -54,5 +54,12 @@ val lint : ?registry:Semantic.t -> t -> string list
 
 val find_path : t -> int -> Path.t option
 
+val fingerprint : t -> string
+(** A stable textual identity of the interface: NIC name plus every
+    completion path's exact field layout and every TX format's size. Two
+    specs with equal fingerprints compile identically for any intent —
+    the NIC half of the compile-cache key (guarding against distinct
+    descriptions that happen to share a name). *)
+
 val pp : Format.formatter -> t -> unit
 (** One-paragraph summary. *)

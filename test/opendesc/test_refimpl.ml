@@ -297,6 +297,85 @@ let prop_select_optimal =
           in
           Float.equal outcome.chosen.s_total brute)
 
+(* Fully randomized version over the whole catalog and semantic universe:
+   random NIC, random intent drawn from the registry's names (including
+   the hardware-only, infinitely-costly ones), random alpha. Eq. 1 and
+   the tie-break are re-implemented here from the paper's definition,
+   sharing no code with Select, and the entire ranking must agree. *)
+let prop_select_randomized =
+  let registry = Semantic.default () in
+  let pool = Array.of_list (Semantic.names registry) in
+  let models = Array.of_list (Nic_models.Catalog.all ()) in
+  QCheck.Test.make
+    ~name:"Select.choose: randomized brute-force Eq. 1 with deterministic ranking"
+    ~count:400
+    (QCheck.make
+       QCheck.Gen.(
+         triple
+           (int_bound (Array.length models - 1))
+           (list_size (int_range 1 6) (int_bound (Array.length pool - 1)))
+           (float_range 0.0 8.0)))
+    (fun (mi, picks, alpha) ->
+      let m = models.(mi) in
+      let sems = List.sort_uniq compare (List.map (fun i -> pool.(i)) picks) in
+      let intent = Intent.make (List.map (fun s -> (s, 32)) sems) in
+      let paths = m.spec.paths in
+      (* Eq. 1, straight from the paper: Σ_{s ∈ Req \ Prov(p)} w(s) + α·Size(p) *)
+      let eq1 (p : Path.t) =
+        let missing = List.filter (fun s -> not (Path.provides p s)) sems in
+        List.fold_left (fun acc s -> acc +. Semantic.cost registry s) 0.0 missing
+        +. (alpha *. float_of_int (Path.size p))
+      in
+      let brute_cmp (a : Path.t) (b : Path.t) =
+        match compare (eq1 a) (eq1 b) with
+        | 0 -> (
+            match compare (Path.size a) (Path.size b) with
+            | 0 -> compare a.p_index b.p_index
+            | c -> c)
+        | c -> c
+      in
+      let brute_order = List.sort brute_cmp paths in
+      let brute_min = List.fold_left (fun acc p -> min acc (eq1 p)) infinity paths in
+      match Select.choose ~alpha registry intent paths with
+      | Error Select.No_paths -> paths = []
+      | Error (Select.Unsatisfiable blocking) ->
+          (* Only an infinite minimum may be rejected, and every reported
+             blocker must genuinely lack a software implementation. *)
+          (not (Float.is_finite brute_min))
+          && List.for_all (fun s -> Semantic.cost registry s = infinity) blocking
+      | Ok outcome ->
+          Float.is_finite brute_min
+          && Float.equal outcome.chosen.s_total brute_min
+          && outcome.chosen.s_path.p_index = (List.hd brute_order).p_index
+          && List.map (fun (sc : Select.scored) -> sc.s_path.p_index) outcome.ranked
+             = List.map (fun (p : Path.t) -> p.p_index) brute_order)
+
+(* alpha = 0 with an empty intent makes every path score exactly 0.0 —
+   the all-ways-tied case — so the choice must be decided purely by the
+   documented tie-break: smaller completion, then lower path index. *)
+let prop_select_tiebreak_total_tie =
+  QCheck.Test.make ~name:"Select.choose: full tie falls back to (size, index)"
+    ~count:50 QCheck.unit (fun () ->
+      let registry = Semantic.default () in
+      List.for_all
+        (fun (m : Nic_models.Model.t) ->
+          match Select.choose ~alpha:0.0 registry (Intent.make []) m.spec.paths with
+          | Error _ -> false
+          | Ok outcome ->
+              let best =
+                List.fold_left
+                  (fun (acc : Path.t) (p : Path.t) ->
+                    if
+                      Path.size p < Path.size acc
+                      || (Path.size p = Path.size acc && p.p_index < acc.p_index)
+                    then p
+                    else acc)
+                  (List.hd m.spec.paths) (List.tl m.spec.paths)
+              in
+              Float.equal outcome.chosen.s_total 0.0
+              && outcome.chosen.s_path.p_index = best.p_index)
+        (Nic_models.Catalog.all ()))
+
 (* Path-enumeration invariant: the per-path context assignments partition
    the full context space. *)
 let prop_assignments_partition =
@@ -502,7 +581,8 @@ let () =
       ( "properties",
         qsuite
           [
-            prop_select_optimal; prop_assignments_partition;
+            prop_select_optimal; prop_select_randomized;
+            prop_select_tiebreak_total_tie; prop_assignments_partition;
             prop_random_deparser_invariants;
           ] );
     ]
