@@ -364,6 +364,90 @@ let validate_cmd =
           software reference (contract conformance).")
     Term.(ret (const run $ nic_arg $ semantics_arg $ intent_arg $ probes_arg))
 
+(* --- parallel ------------------------------------------------------- *)
+
+let parallel_cmd =
+  let domains_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N" ~doc:"Worker domains (one per queue group).")
+  in
+  let queues_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queues" ] ~docv:"N" ~doc:"Queue count of the multi-queue device.")
+  in
+  let pkts_arg =
+    Arg.(
+      value & opt int 16384
+      & info [ "pkts" ] ~docv:"N" ~doc:"Packets to inject.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Harvest burst capacity per queue.")
+  in
+  let run nic semantics intent_file alpha domains queues pkts batch =
+    let registry = Opendesc.Semantic.default () in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let models = Nic_models.Catalog.all ~intent () in
+        match Nic_models.Catalog.find nic models with
+        | None ->
+            fail
+              "the parallel runtime drives the simulated device, so NIC must \
+               be a built-in model; try 'opendesc_cc list'"
+        | Some model -> (
+            match Opendesc.Compile.run ~alpha ~registry ~intent model.spec with
+            | Error e -> fail "%s" e
+            | Ok compiled -> (
+                let mq =
+                  Driver.Mq.create ~queue_depth:1024
+                    ~configs:(Array.make queues compiled.config)
+                    (fun () ->
+                      Option.get
+                        (Nic_models.Catalog.find nic
+                           (Nic_models.Catalog.all ~intent ())))
+                in
+                match mq with
+                | Error e -> fail "%s" e
+                | Ok mq ->
+                    let r =
+                      Driver.Parallel.run ~domains ~batch ~mq
+                        ~stack:(fun _ ->
+                          Driver.Hoststacks.opendesc_batched ~compiled)
+                        ~pkts
+                        ~workload:
+                          (Packet.Workload.make ~seed:61L
+                             Packet.Workload.Min_size)
+                        ()
+                    in
+                    Format.printf "%a@." Driver.Stats.pp_table
+                      (Array.to_list r.domain_stats @ [ r.stats ]);
+                    Printf.printf
+                      "per-queue: %s\nwall: %.3f s (%.2f Mpps)  stranded: %d  \
+                       device drops: %d\n"
+                      (String.concat " "
+                         (Array.to_list (Array.map string_of_int r.per_queue)))
+                      r.wall_s
+                      (float_of_int r.pkts /. r.wall_s /. 1e6)
+                      r.stranded r.drops;
+                    if r.stranded <> 0 then
+                      fail "%d packets stranded in handoff rings" r.stranded
+                    else `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "parallel"
+       ~doc:
+         "Run the domain-parallel multi-queue datapath: worker domains own \
+          queue groups, fed over SPSC handoff rings; prints per-domain stat \
+          shards and the merged view.")
+    Term.(
+      ret
+        (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
+       $ domains_arg $ queues_arg $ pkts_arg $ batch_arg))
+
 (* --- shims --------------------------------------------------------- *)
 
 let shims_cmd =
@@ -402,7 +486,7 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -6,6 +6,7 @@ type t = {
   cmpt_ring : Ring.t;
   pkt_ring : Ring.t;
   tx_ring : Ring.t;
+  tx_scratch : bytes;  (** reusable TX descriptor-fetch buffer *)
   buf_size : int;
   mutable tx_format : Opendesc.Descparser.t option;
   mutable rx_count : int;
@@ -56,6 +57,13 @@ let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.M
         (Format.asprintf "%s: context %a selects no completion path"
            model.spec.nic_name Opendesc.Context.pp config)
   | Some path ->
+      let tx_ring =
+        Ring.create ~slots:queue_depth
+          ~slot_size:
+            (List.fold_left
+               (fun acc f -> max acc (Opendesc.Descparser.size f))
+               16 model.spec.tx_formats)
+      in
       Ok
         {
           model;
@@ -64,12 +72,8 @@ let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.M
           active_path = path;
           cmpt_ring = Ring.create ~slots:queue_depth ~slot_size:(max_cmpt_size model.spec);
           pkt_ring = Ring.create ~slots:queue_depth ~slot_size:(buf_size + 2);
-          tx_ring =
-            Ring.create ~slots:queue_depth
-              ~slot_size:
-                (List.fold_left
-                   (fun acc f -> max acc (Opendesc.Descparser.size f))
-                   16 model.spec.tx_formats);
+          tx_ring;
+          tx_scratch = Bytes.create (Ring.slot_size tx_ring);
           buf_size;
           tx_format = smallest_tx model.spec;
           rx_count = 0;
@@ -189,24 +193,26 @@ let tx_process t ~fetch =
   | Some fmt ->
       let addr_field = Opendesc.Descparser.field_for fmt "buf_addr" in
       let sent = ref 0 in
+      (* The descriptor fetch reuses one scratch buffer: consuming a TX
+         slot per packet must not allocate on the hot path. *)
       let rec drain () =
-        match Ring.consume_dev t.tx_ring with
-        | None -> ()
-        | Some desc -> (
-            (match addr_field with
-            | Some f ->
-                let addr =
-                  Opendesc.Accessor.reader ~bit_off:f.l_bit_off ~bits:f.l_bits desc
-                in
-                (match fetch addr with
-                | Some pkt ->
-                    (* Device fetches the packet body over DMA. *)
-                    t.tx_pkt_bytes_read <- t.tx_pkt_bytes_read + Packet.Pkt.len pkt;
-                    t.tx_count <- t.tx_count + 1;
-                    incr sent
-                | None -> t.drops <- t.drops + 1)
-            | None -> t.drops <- t.drops + 1);
-            drain ())
+        if Ring.consume_dev_into t.tx_ring t.tx_scratch then begin
+          (match addr_field with
+          | Some f ->
+              let addr =
+                Opendesc.Accessor.reader ~bit_off:f.l_bit_off ~bits:f.l_bits
+                  t.tx_scratch
+              in
+              (match fetch addr with
+              | Some pkt ->
+                  (* Device fetches the packet body over DMA. *)
+                  t.tx_pkt_bytes_read <- t.tx_pkt_bytes_read + Packet.Pkt.len pkt;
+                  t.tx_count <- t.tx_count + 1;
+                  incr sent
+              | None -> t.drops <- t.drops + 1)
+          | None -> t.drops <- t.drops + 1);
+          drain ()
+        end
       in
       drain ();
       !sent

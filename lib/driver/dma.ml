@@ -12,6 +12,10 @@ let dev_read t ~off ~len =
   t.read <- t.read + len;
   Bytes.sub t.mem off len
 
+let dev_read_into t ~off ~buf ~pos ~len =
+  Bytes.blit t.mem off buf pos len;
+  t.read <- t.read + len
+
 let dev_written_bytes t = t.written
 let dev_read_bytes t = t.read
 

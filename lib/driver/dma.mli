@@ -21,6 +21,11 @@ val dev_write : t -> off:int -> bytes -> pos:int -> len:int -> unit
 val dev_read : t -> off:int -> len:int -> bytes
 (** Device reads from host memory (counted). *)
 
+val dev_read_into : t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
+(** Like {!dev_read}, but blits into the caller's reusable buffer instead
+    of allocating. The hot-loop variant: device-side descriptor fetches
+    happen once per TX packet, so the allocation matters. *)
+
 val dev_written_bytes : t -> int
 
 val dev_read_bytes : t -> int

@@ -26,13 +26,13 @@ let create_exn ?queue_depth ~configs model =
 let queues t = Array.length t.devices
 let queue t i = t.devices.(i)
 
-let steer t pkt =
-  let view = Packet.Pkt.parse pkt in
+let steer ?view t pkt =
+  let view = match view with Some v -> v | None -> Packet.Pkt.parse pkt in
   let hash = Softnic.Toeplitz.hash_pkt ~key:t.key pkt view in
   if Int32.equal hash 0l then 0
   else Int32.to_int (Int32.logand hash 0x7FFFFFFFl) mod Array.length t.devices
 
-let rx_inject t pkt = Device.rx_inject t.devices.(steer t pkt) pkt
+let rx_inject ?view t pkt = Device.rx_inject t.devices.(steer ?view t pkt) pkt
 
 let rx_counts t = Array.map Device.rx_count t.devices
 
@@ -42,7 +42,10 @@ let bursts ?capacity t =
 let rx_consume_batch t i burst = Device.rx_consume_batch t.devices.(i) burst
 
 let drain_batched t bursts ~f =
-  assert (Array.length bursts = Array.length t.devices);
+  if Array.length bursts <> Array.length t.devices then
+    invalid_arg
+      (Printf.sprintf "Mq.drain_batched: %d bursts for %d queues"
+         (Array.length bursts) (Array.length t.devices));
   let total = ref 0 in
   Array.iteri
     (fun i d ->

@@ -30,12 +30,14 @@ val queue : t -> int -> Device.t
 (** The underlying device of one queue (drain it with
     {!Device.rx_consume}). *)
 
-val steer : t -> Packet.Pkt.t -> int
+val steer : ?view:Packet.Pkt.view -> t -> Packet.Pkt.t -> int
 (** The queue the steering function selects (Toeplitz over the flow,
-    modulo queue count; 0 for unhashable frames). *)
+    modulo queue count; 0 for unhashable frames). Pass [?view] when the
+    caller already holds the parsed view — the injection hot path — to
+    skip the re-parse. *)
 
-val rx_inject : t -> Packet.Pkt.t -> bool
-(** Inject via the steering function. *)
+val rx_inject : ?view:Packet.Pkt.view -> t -> Packet.Pkt.t -> bool
+(** Inject via the steering function ([?view] as in {!steer}). *)
 
 val rx_counts : t -> int array
 (** Packets delivered per queue. *)
@@ -49,4 +51,7 @@ val rx_consume_batch : t -> int -> Device.burst -> int
 val drain_batched : t -> Device.burst array -> f:(int -> Device.burst -> unit) -> int
 (** One polling sweep: harvest every queue into its burst (as created by
     {!bursts}) and call [f queue burst] for each non-empty harvest.
-    Returns the total packets harvested across queues. *)
+    Returns the total packets harvested across queues.
+
+    @raise Invalid_argument when the burst array's length does not match
+    the queue count — loud in release builds too, unlike an [assert]. *)

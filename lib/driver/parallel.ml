@@ -1,0 +1,229 @@
+(* Domain-parallel multi-queue datapath.
+
+   One worker domain per queue group owns its devices outright: the
+   worker performs both the device-side injection (completion write-out)
+   and the host-side burst harvest for its queues, so no device state is
+   ever shared between domains. A steering/injection domain parses each
+   packet once, steers it (with a flow->queue cache in front of the
+   Toeplitz hash, like a NIC's RSS indirection table) and hands it to
+   the owning worker over a bounded SPSC ring. Stats are sharded: each
+   worker charges a domain-local ledger and the shards merge on demand
+   (Stats.merge), so counters stay race-free without hot-path atomics. *)
+
+module Spsc = struct
+  (* Lamport's single-producer/single-consumer bounded queue. The
+     producer alone writes [tail], the consumer alone writes [head];
+     slot contents are published by the seq-cst [Atomic.set] of the
+     index, which is the OCaml 5 message-passing idiom: every plain
+     write before the atomic store is visible after the matching atomic
+     load. *)
+  type 'a t = {
+    slots : 'a option array;
+    mask : int;
+    head : int Atomic.t;  (** consumer index, free-running *)
+    tail : int Atomic.t;  (** producer index, free-running *)
+  }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let create capacity =
+    if capacity < 1 then invalid_arg "Spsc.create: capacity must be >= 1";
+    let cap = next_pow2 capacity in
+    {
+      slots = Array.make cap None;
+      mask = cap - 1;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+    }
+
+  let capacity t = t.mask + 1
+  let length t = Atomic.get t.tail - Atomic.get t.head
+  let is_empty t = length t = 0
+
+  let try_push t v =
+    let tail = Atomic.get t.tail in
+    if tail - Atomic.get t.head > t.mask then false
+    else begin
+      t.slots.(tail land t.mask) <- Some v;
+      Atomic.set t.tail (tail + 1);
+      true
+    end
+
+  let try_pop t =
+    let head = Atomic.get t.head in
+    if Atomic.get t.tail - head <= 0 then None
+    else begin
+      let i = head land t.mask in
+      let v = t.slots.(i) in
+      t.slots.(i) <- None;
+      Atomic.set t.head (head + 1);
+      v
+    end
+end
+
+type result = {
+  pkts : int;
+  per_queue : int array;
+  stats : Stats.t;
+  domain_stats : Stats.t array;
+  domain_cycles : float array;
+  wall_s : float;
+  stranded : int;
+  drops : int;
+  sink : int64;
+  delivered : bytes list array option;
+}
+
+(* What one worker domain reports back through Domain.join. *)
+type report = { rp_pkts : int; rp_cycles : float; rp_stats : Stats.t; rp_sink : int64 }
+
+(* Spin a little, then yield the core: on machines with fewer cores than
+   domains a pure busy-wait would burn the producer's (or a starved
+   worker's) whole timeslice. *)
+let backoff tries =
+  if tries < 256 then Domain.cpu_relax () else Unix.sleepf 50e-6
+
+let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
+    ~delivered () =
+  let env = Softnic.Feature.make_env () in
+  let ledger = Cost.create () in
+  let bursts = Array.map (fun d -> Device.burst_create ~capacity:batch d) devices in
+  let consumers = Array.map stack queue_ids in
+  let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  let nbursts = ref 0 in
+  let consumed = ref 0 in
+  let sink = ref 0L in
+  (* One harvest sweep over the owned queues; returns packets taken. *)
+  let sweep () =
+    let total = ref 0 in
+    Array.iteri
+      (fun i d ->
+        let b = bursts.(i) in
+        let n = Device.rx_consume_batch d b in
+        if n > 0 then begin
+          incr nbursts;
+          Hashtbl.replace hist n
+            (1 + Option.value ~default:0 (Hashtbl.find_opt hist n));
+          sink := Int64.add !sink (consumers.(i).Stack.bt_consume ledger env b);
+          let q = queue_ids.(i) in
+          per_queue.(q) <- per_queue.(q) + n;
+          (match delivered with
+          | Some arr ->
+              for j = 0 to n - 1 do
+                arr.(q) <-
+                  Bytes.sub b.Device.bs_pkts.(j) 0 b.Device.bs_lens.(j) :: arr.(q)
+              done
+          | None -> ());
+          consumed := !consumed + n;
+          total := !total + n
+        end)
+      devices;
+    !total
+  in
+  let harvest_all () = while sweep () > 0 do () done in
+  (* Harvest when a full batch per owned queue has accumulated (keeps
+     bursts near capacity, so the amortised per-burst charges match the
+     sequential batched path), when the injector goes quiet, or at
+     shutdown. *)
+  let threshold = batch * Array.length devices in
+  let rec loop pending idle =
+    match Spsc.try_pop ring with
+    | Some (q, pkt) ->
+        ignore (Device.rx_inject devices.(local.(q)) pkt);
+        let pending = pending + 1 in
+        if pending >= threshold then begin
+          harvest_all ();
+          loop 0 0
+        end
+        else loop pending 0
+    | None ->
+        if Atomic.get stop && Spsc.is_empty ring then harvest_all ()
+        else begin
+          let pending = if idle = 32 && pending > 0 then (harvest_all (); 0) else pending in
+          backoff idle;
+          loop pending (idle + 1)
+        end
+  in
+  loop 0 0;
+  let dma = Array.fold_left (fun a d -> a + Device.dma_bytes d) 0 devices in
+  let drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices in
+  let stats =
+    Stats.make
+      ~name:(Printf.sprintf "domain%d" w)
+      ~pkts:!consumed ~ledger ~dma_bytes:dma ~drops
+    |> Stats.with_bursts ~bursts:!nbursts
+         ~burst_hist:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [])
+  in
+  { rp_pkts = !consumed; rp_cycles = Cost.total ledger; rp_stats = stats; rp_sink = !sink }
+
+let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
+    ~mq ~stack ~pkts ~workload () =
+  if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
+  if batch < 1 then invalid_arg "Parallel.run: batch must be >= 1";
+  let nq = Mq.queues mq in
+  let workers = min domains nq in
+  let owner q = q mod workers in
+  let devices = Array.init nq (Mq.queue mq) in
+  Array.iter Device.reset_counters devices;
+  let per_queue = Array.make nq 0 in
+  let delivered = if collect then Some (Array.make nq []) else None in
+  let rings = Array.init workers (fun _ -> Spsc.create ring_capacity) in
+  let stop = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.init workers (fun w ->
+        let queue_ids =
+          Array.of_list
+            (List.filter (fun q -> owner q = w) (List.init nq Fun.id))
+        in
+        let wdevices = Array.map (fun q -> devices.(q)) queue_ids in
+        let local = Array.make nq (-1) in
+        Array.iteri (fun i q -> local.(q) <- i) queue_ids;
+        Domain.spawn
+          (worker ~w ~queue_ids ~devices:wdevices ~local ~ring:rings.(w) ~stop
+             ~batch ~stack ~per_queue ~delivered))
+  in
+  (* The steering/injection domain: parse once, steer via the flow cache
+     (identical queue choice to Mq.steer — the Toeplitz hash is a pure
+     function of the flow), hand off with backpressure. *)
+  let steer_cache : (Packet.Fivetuple.t, int) Hashtbl.t = Hashtbl.create 256 in
+  for _ = 1 to pkts do
+    let pkt = Packet.Workload.next workload in
+    let view = Packet.Pkt.parse pkt in
+    let q =
+      match Packet.Fivetuple.of_pkt pkt view with
+      | Some flow -> (
+          match Hashtbl.find_opt steer_cache flow with
+          | Some q -> q
+          | None ->
+              let q = Mq.steer ~view mq pkt in
+              Hashtbl.replace steer_cache flow q;
+              q)
+      | None -> Mq.steer ~view mq pkt
+    in
+    let ring = rings.(owner q) in
+    let tries = ref 0 in
+    while not (Spsc.try_push ring (q, pkt)) do
+      backoff !tries;
+      incr tries
+    done
+  done;
+  Atomic.set stop true;
+  let reports = Array.map Domain.join doms in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let stranded = Array.fold_left (fun a r -> a + Spsc.length r) 0 rings in
+  let domain_stats = Array.map (fun r -> r.rp_stats) reports in
+  {
+    pkts = Array.fold_left (fun a r -> a + r.rp_pkts) 0 reports;
+    per_queue;
+    stats = Stats.merge ~name:"parallel" (Array.to_list domain_stats);
+    domain_stats;
+    domain_cycles = Array.map (fun r -> r.rp_cycles) reports;
+    wall_s;
+    stranded;
+    drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices;
+    sink = Array.fold_left (fun a r -> Int64.add a r.rp_sink) 0L reports;
+    delivered = Option.map (Array.map List.rev) delivered;
+  }

@@ -1,0 +1,77 @@
+(** Domain-parallel multi-queue datapath.
+
+    The sequential batched path ({!Mq.drain_batched}) polls every queue
+    from one thread of control. This runtime instead gives each queue
+    group to a worker {e domain} that owns its {!Device.t}s outright —
+    device-side injection and host-side burst harvest both happen on the
+    owner, so no device state is shared across domains. A
+    steering/injection domain parses and steers each packet (the same
+    Toeplitz decision as {!Mq.steer}) and hands it to the owner over a
+    bounded SPSC ring. Per-domain stats shards merge via
+    {!Stats.merge}. *)
+
+module Spsc : sig
+  (** Lamport single-producer/single-consumer bounded ring. Exactly one
+      domain may push and exactly one may pop; indices are [Atomic] so
+      slot contents publish across the pair. *)
+
+  type 'a t
+
+  val create : int -> 'a t
+  (** Capacity is rounded up to a power of two.
+      @raise Invalid_argument on capacity < 1. *)
+
+  val capacity : 'a t -> int
+
+  val try_push : 'a t -> 'a -> bool
+  (** False when full (producer only). *)
+
+  val try_pop : 'a t -> 'a option
+  (** None when empty (consumer only). *)
+
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+end
+
+type result = {
+  pkts : int;  (** total packets delivered to consumers *)
+  per_queue : int array;  (** packets delivered per queue *)
+  stats : Stats.t;  (** merged view of all domain shards *)
+  domain_stats : Stats.t array;  (** one shard per worker domain *)
+  domain_cycles : float array;  (** modelled cycle total per worker *)
+  wall_s : float;  (** wall-clock seconds, spawn to join *)
+  stranded : int;  (** packets left in handoff rings (0 = clean shutdown) *)
+  drops : int;  (** device-side ring-full drops *)
+  sink : int64;  (** summed consumer digests (order-insensitive) *)
+  delivered : bytes list array option;
+      (** with [~collect:true]: per-queue packet bytes in delivery
+          order, for differential comparison against the sequential
+          path *)
+}
+
+val run :
+  ?domains:int ->
+  ?batch:int ->
+  ?ring_capacity:int ->
+  ?collect:bool ->
+  mq:Mq.t ->
+  stack:(int -> Stack.burst_t) ->
+  pkts:int ->
+  workload:Packet.Workload.t ->
+  unit ->
+  result
+(** Run [pkts] packets of [workload] through [mq] with
+    [min domains (Mq.queues mq)] worker domains; queue [q] is owned by
+    worker [q mod workers]. [stack q] builds the (domain-local) consumer
+    for queue [q]. Workers harvest once a full [batch] per owned queue
+    has accumulated (so amortised per-burst charges match the sequential
+    batched path) and drain completely on shutdown: the injector raises
+    the stop flag only after pushing everything, and workers exit only
+    when stopped {e and} their ring is empty, then sweep their queues
+    dry — so [stranded = 0] and [pkts] equals the injected count unless
+    a device ring overflowed ([drops]).
+
+    Defaults: [domains = 1], [batch = 32], [ring_capacity = 1024],
+    [collect = false]. Device counters are reset on entry.
+
+    @raise Invalid_argument on [domains < 1] or [batch < 1]. *)

@@ -65,6 +65,14 @@ let consume_dev t =
     Some b
   end
 
+let consume_dev_into t dst =
+  if is_empty t then false
+  else begin
+    Dma.dev_read_into t.dma ~off:(off_of t t.cons) ~buf:dst ~pos:0 ~len:t.slot_size;
+    t.cons <- t.cons + 1;
+    true
+  end
+
 let reset t =
   t.prod <- 0;
   t.cons <- 0;

@@ -50,4 +50,8 @@ val produce_host_batch : t -> bytes list -> int
 val consume_dev : t -> bytes option
 (** Device reads the next slot (counted as DMA — TX descriptor fetch). *)
 
+val consume_dev_into : t -> bytes -> bool
+(** Like {!consume_dev}, but blits the slot into the caller's reusable
+    buffer (at least [slot_size] long) instead of allocating. *)
+
 val reset : t -> unit

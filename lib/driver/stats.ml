@@ -33,6 +33,61 @@ let make ~name ~pkts ~ledger ~dma_bytes ~drops =
 let with_bursts ~bursts ~burst_hist t =
   { t with bursts; burst_hist = List.sort compare burst_hist }
 
+(* Aggregate per-domain shards into one view. Per-packet averages are
+   re-derived from packet-weighted totals, so merging is exact: the
+   merged cycles/pkt equals what one ledger over all shards would have
+   reported. *)
+let merge ~name shards =
+  let pkts = List.fold_left (fun a s -> a + s.pkts) 0 shards in
+  let fp = float_of_int pkts in
+  let weighted f =
+    List.fold_left (fun a s -> a +. (f s *. float_of_int s.pkts)) 0.0 shards
+  in
+  let cycles = weighted (fun s -> s.cycles_per_pkt) in
+  let cycles_per_pkt = if pkts = 0 then 0.0 else cycles /. fp in
+  let tbl : (string, float) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (k, v) ->
+          Hashtbl.replace tbl k
+            ((v *. float_of_int s.pkts)
+            +. Option.value ~default:0.0 (Hashtbl.find_opt tbl k)))
+        s.breakdown)
+    shards;
+  let breakdown =
+    Hashtbl.fold
+      (fun k v acc -> (k, if pkts = 0 then 0.0 else v /. fp) :: acc)
+      tbl []
+    |> List.sort (fun (k1, a) (k2, b) ->
+           match compare b a with 0 -> String.compare k1 k2 | c -> c)
+  in
+  let htbl : (int, int) Hashtbl.t = Hashtbl.create 8 in
+  List.iter
+    (fun s ->
+      List.iter
+        (fun (size, n) ->
+          Hashtbl.replace htbl size
+            (n + Option.value ~default:0 (Hashtbl.find_opt htbl size)))
+        s.burst_hist)
+    shards;
+  {
+    name;
+    pkts;
+    cycles_per_pkt;
+    pps_m =
+      (if cycles_per_pkt = 0.0 then 0.0
+       else Cost.pps_of_cycles cycles_per_pkt /. 1e6);
+    latency_ns = Cost.latency_ns_of_cycles cycles_per_pkt;
+    dma_bytes_per_pkt =
+      (if pkts = 0 then 0.0 else weighted (fun s -> s.dma_bytes_per_pkt) /. fp);
+    drops = List.fold_left (fun a s -> a + s.drops) 0 shards;
+    breakdown;
+    bursts = List.fold_left (fun a s -> a + s.bursts) 0 shards;
+    burst_hist =
+      Hashtbl.fold (fun k v acc -> (k, v) :: acc) htbl [] |> List.sort compare;
+  }
+
 let avg_burst t =
   if t.bursts = 0 then 0.0 else float_of_int t.pkts /. float_of_int t.bursts
 

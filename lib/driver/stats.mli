@@ -27,6 +27,14 @@ val make :
 val with_bursts : bursts:int -> burst_hist:(int * int) list -> t -> t
 (** Attach the harvest-burst accounting (histogram is sorted). *)
 
+val merge : name:string -> t list -> t
+(** Aggregate per-domain stat shards into one view: packet counts, drops
+    and bursts sum; per-packet averages (cycles, DMA bytes, breakdown
+    components) are packet-weighted; burst histograms merge per size.
+    The sharded-stats half of the parallel datapath — each domain keeps
+    its own ledger race-free, and this recovers the aggregate on
+    demand. *)
+
 val avg_burst : t -> float
 (** Mean packets per harvest burst; 0 when unbatched. *)
 

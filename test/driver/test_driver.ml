@@ -599,6 +599,206 @@ let test_pps_latency_conversions () =
     (Cost.latency_ns_of_cycles 0.0 > 0.0)
 
 (* ------------------------------------------------------------------ *)
+(* Dma/Ring zero-copy reads *)
+
+let test_dma_dev_read_into () =
+  let d = Dma.create 64 in
+  Dma.dev_write d ~off:8 (Bytes.of_string "metadata") ~pos:0 ~len:8;
+  let buf = Bytes.make 12 '.' in
+  Dma.dev_read_into d ~off:8 ~buf ~pos:2 ~len:8;
+  check Alcotest.bytes "copied in place" (Bytes.of_string "..metadata..") buf;
+  check ai "read counted" 8 (Dma.dev_read_bytes d)
+
+let test_ring_consume_dev_into () =
+  let r = Ring.create ~slots:4 ~slot_size:4 in
+  ignore (Ring.produce_host r (Bytes.of_string "desc"));
+  let dst = Bytes.make 4 '\x00' in
+  check ab "consumed" true (Ring.consume_dev_into r dst);
+  check Alcotest.bytes "slot copied" (Bytes.of_string "desc") dst;
+  check ai "read counted" 4 (Dma.dev_read_bytes (Ring.dma r));
+  check ab "empty rejects" false (Ring.consume_dev_into r dst)
+
+(* ------------------------------------------------------------------ *)
+(* Mq steering with a pre-parsed view; drain_batched arity check *)
+
+let test_mq_steer_view_equivalence () =
+  let model () = Nic_models.Mlx5.model () in
+  let mini = [ ("cqe_comp", 1L); ("mini_fmt", 0L) ] in
+  let mq = Mq.create_exn ~configs:[| mini; mini; mini; mini |] model in
+  let w = Packet.Workload.make ~seed:83L ~flows:32 Packet.Workload.Ipv6_mix in
+  for _ = 1 to 128 do
+    let pkt = Packet.Workload.next w in
+    let view = Packet.Pkt.parse pkt in
+    check ai "view and no-view agree" (Mq.steer mq pkt) (Mq.steer ~view mq pkt)
+  done
+
+let test_mq_drain_batched_arity () =
+  let model () = Nic_models.Mlx5.model () in
+  let mini = [ ("cqe_comp", 1L); ("mini_fmt", 0L) ] in
+  let mq = Mq.create_exn ~configs:[| mini; mini |] model in
+  let bursts = Mq.bursts mq in
+  Alcotest.check_raises "short burst array rejected"
+    (Invalid_argument "Mq.drain_batched: 1 bursts for 2 queues") (fun () ->
+      ignore (Mq.drain_batched mq (Array.sub bursts 0 1) ~f:(fun _ _ -> ())))
+
+(* ------------------------------------------------------------------ *)
+(* Parallel: SPSC ring, sharded-stats merge, differential equivalence *)
+
+let test_spsc_fifo_and_bounds () =
+  let r = Parallel.Spsc.create 5 in
+  check ai "capacity rounds to pow2" 8 (Parallel.Spsc.capacity r);
+  for i = 0 to 7 do
+    check ab "push" true (Parallel.Spsc.try_push r i)
+  done;
+  check ab "full rejects" false (Parallel.Spsc.try_push r 99);
+  check ai "length" 8 (Parallel.Spsc.length r);
+  for i = 0 to 7 do
+    check Alcotest.(option int) "fifo pop" (Some i) (Parallel.Spsc.try_pop r)
+  done;
+  check Alcotest.(option int) "empty pop" None (Parallel.Spsc.try_pop r);
+  check ab "empty" true (Parallel.Spsc.is_empty r)
+
+let test_spsc_cross_domain () =
+  (* One producer domain, the main domain consuming: every value arrives
+     exactly once, in order, through a ring much smaller than the stream. *)
+  let r = Parallel.Spsc.create 16 in
+  let n = 10_000 in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          while not (Parallel.Spsc.try_push r i) do
+            Domain.cpu_relax ()
+          done
+        done)
+  in
+  let got = ref 0 and expect = ref 1 in
+  while !got < n do
+    match Parallel.Spsc.try_pop r with
+    | Some v ->
+        check ai "in order" !expect v;
+        incr expect;
+        incr got
+    | None -> Domain.cpu_relax ()
+  done;
+  Domain.join producer;
+  check ab "drained" true (Parallel.Spsc.is_empty r)
+
+let test_stats_merge () =
+  let shard name pkts cycles comp =
+    let l = Cost.create () in
+    Cost.charge l comp (cycles *. float_of_int pkts);
+    Stats.make ~name ~pkts ~ledger:l ~dma_bytes:(10 * pkts) ~drops:1
+    |> Stats.with_bursts ~bursts:2 ~burst_hist:[ (32, 2) ]
+  in
+  let m = Stats.merge ~name:"m" [ shard "a" 100 10.0 "x"; shard "b" 300 20.0 "y" ] in
+  check ai "pkts sum" 400 m.Stats.pkts;
+  (* packet-weighted: (100*10 + 300*20) / 400 = 17.5 *)
+  check (Alcotest.float 0.001) "weighted cycles" 17.5 m.Stats.cycles_per_pkt;
+  check (Alcotest.float 0.001) "weighted dma" 10.0 m.Stats.dma_bytes_per_pkt;
+  check ai "drops sum" 2 m.Stats.drops;
+  check ai "bursts sum" 4 m.Stats.bursts;
+  check ab "hist merged" true (m.Stats.burst_hist = [ (32, 4) ]);
+  (* y carries 300*20=6000 of the 7000 total cycles, so it leads. *)
+  check ab "breakdown sorted by weighted cost" true
+    (List.map fst m.Stats.breakdown = [ "y"; "x" ])
+
+(* The sequential oracle: same workload through Mq.rx_inject +
+   drain_batched on one domain, collecting per-queue delivery order and
+   the summed consumer digest (which is per-packet, so partitioning into
+   different bursts cannot change it). *)
+let sequential_reference ~stack ~mq ~pkts ~workload =
+  let nq = Mq.queues mq in
+  let bursts = Mq.bursts ~capacity:64 mq in
+  let delivered = Array.make nq [] in
+  let env = Softnic.Feature.make_env () in
+  let ledger = Cost.create () in
+  let sink = ref 0L in
+  let total = ref 0 in
+  let f q (b : Device.burst) =
+    sink := Int64.add !sink (stack.Stack.bt_consume ledger env b);
+    for i = 0 to b.Device.bs_count - 1 do
+      delivered.(q) <-
+        Bytes.sub b.Device.bs_pkts.(i) 0 b.Device.bs_lens.(i) :: delivered.(q)
+    done
+  in
+  for i = 1 to pkts do
+    ignore (Mq.rx_inject mq (Packet.Workload.next workload));
+    if i mod 32 = 0 then total := !total + Mq.drain_batched mq bursts ~f
+  done;
+  let rec drain () =
+    let n = Mq.drain_batched mq bursts ~f in
+    if n > 0 then begin
+      total := !total + n;
+      drain ()
+    end
+  in
+  drain ();
+  (Array.map List.rev delivered, !total, !sink)
+
+let parallel_fixture () =
+  let model () = Nic_models.Mlx5.model () in
+  let _, compiled = mlx5_compiled ~alpha:0.05 [ "rss"; "pkt_len" ] in
+  let mq () =
+    Mq.create_exn ~queue_depth:1024 ~configs:(Array.make 4 compiled.config) model
+  in
+  let workload () =
+    Packet.Workload.make ~seed:91L ~flows:32 Packet.Workload.Min_size
+  in
+  (compiled, mq, workload)
+
+let test_parallel_matches_sequential () =
+  let compiled, mq, workload = parallel_fixture () in
+  let pkts = 512 in
+  let stack = Hoststacks.opendesc_batched ~compiled in
+  let seq_delivered, seq_total, seq_sink =
+    sequential_reference ~stack ~mq:(mq ()) ~pkts ~workload:(workload ())
+  in
+  check ai "sequential delivers all" pkts seq_total;
+  List.iter
+    (fun domains ->
+      let r =
+        Parallel.run ~domains ~batch:32 ~collect:true ~mq:(mq ())
+          ~stack:(fun _ -> stack)
+          ~pkts ~workload:(workload ()) ()
+      in
+      let tag fmt = Printf.sprintf "%s (domains=%d)" fmt domains in
+      check ai (tag "all delivered") pkts r.Parallel.pkts;
+      check ai (tag "nothing stranded") 0 r.Parallel.stranded;
+      check ai (tag "no drops") 0 r.Parallel.drops;
+      check ai64 (tag "digest matches sequential") seq_sink r.Parallel.sink;
+      check ai (tag "merged stats pkts") pkts r.Parallel.stats.Stats.pkts;
+      let delivered = Option.get r.Parallel.delivered in
+      Array.iteri
+        (fun q seq_q ->
+          check ai
+            (tag (Printf.sprintf "queue %d count" q))
+            (List.length seq_q)
+            r.Parallel.per_queue.(q);
+          check ab
+            (tag (Printf.sprintf "queue %d bytes identical in order" q))
+            true
+            (List.equal Bytes.equal seq_q delivered.(q)))
+        seq_delivered)
+    [ 1; 2; 4 ]
+
+let test_parallel_shutdown_clean () =
+  (* A handoff ring far smaller than the stream forces backpressure; the
+     run must still join every domain with nothing stranded or dropped. *)
+  let compiled, mq, workload = parallel_fixture () in
+  let pkts = 300 in
+  let r =
+    Parallel.run ~domains:2 ~batch:16 ~ring_capacity:64 ~mq:(mq ())
+      ~stack:(fun _ -> Hoststacks.opendesc_batched ~compiled)
+      ~pkts ~workload:(workload ()) ()
+  in
+  check ai "all delivered" pkts r.Parallel.pkts;
+  check ai "nothing stranded" 0 r.Parallel.stranded;
+  check ai "no drops" 0 r.Parallel.drops;
+  check ai "per-queue sums to total" pkts
+    (Array.fold_left ( + ) 0 r.Parallel.per_queue);
+  check ai "one shard per worker" 2 (Array.length r.Parallel.domain_stats)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -609,6 +809,7 @@ let () =
         [
           Alcotest.test_case "counters" `Quick test_dma_counters;
           Alcotest.test_case "host not counted" `Quick test_dma_host_access_not_counted;
+          Alcotest.test_case "dev_read_into" `Quick test_dma_dev_read_into;
         ] );
       ( "ring",
         [
@@ -617,6 +818,7 @@ let () =
           Alcotest.test_case "wraparound" `Quick test_ring_wraparound;
           Alcotest.test_case "dev ops counted" `Quick test_ring_dev_ops_counted;
           Alcotest.test_case "space/available" `Quick test_ring_space_available;
+          Alcotest.test_case "consume_dev_into" `Quick test_ring_consume_dev_into;
         ]
         @ qsuite [ prop_ring_matches_queue ] );
       ( "device",
@@ -644,6 +846,8 @@ let () =
           Alcotest.test_case "per-queue layouts" `Quick test_mq_per_queue_layouts;
           Alcotest.test_case "unhashable to queue 0" `Quick
             test_mq_unhashable_to_queue_zero;
+          Alcotest.test_case "steer with view" `Quick test_mq_steer_view_equivalence;
+          Alcotest.test_case "drain_batched arity" `Quick test_mq_drain_batched_arity;
         ] );
       ( "stacks",
         [
@@ -659,6 +863,15 @@ let () =
           Alcotest.test_case "asni aggregation" `Quick
             test_asni_between_opendesc_and_streaming;
           Alcotest.test_case "simd amortizes" `Quick test_simd_amortizes;
+        ] );
+      ( "parallel",
+        [
+          Alcotest.test_case "spsc fifo+bounds" `Quick test_spsc_fifo_and_bounds;
+          Alcotest.test_case "spsc cross-domain" `Quick test_spsc_cross_domain;
+          Alcotest.test_case "stats merge" `Quick test_stats_merge;
+          Alcotest.test_case "matches sequential" `Quick
+            test_parallel_matches_sequential;
+          Alcotest.test_case "clean shutdown" `Quick test_parallel_shutdown_clean;
         ] );
       ("properties", qsuite [ prop_dma_accounting ]);
       ( "cost",
