@@ -448,6 +448,145 @@ let parallel_cmd =
         (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
        $ domains_arg $ queues_arg $ pkts_arg $ batch_arg))
 
+(* --- lint ----------------------------------------------------------- *)
+
+let lint_cmd =
+  let module Dg = Opendesc_analysis.Diagnostic in
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NIC|FILE"
+          ~doc:
+            "Built-in NIC model names or P4 description files (vendor \
+             descriptions or intent headers). Default: the whole built-in \
+             catalogue.")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Exit non-zero on warnings, not only on errors.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ] ~doc:"Machine-readable JSON report (schema opendesc-lint-1).")
+  in
+  let run targets semantics intent_file werror json =
+    let registry = Opendesc.Semantic.default () in
+    let intent =
+      match (semantics, intent_file) with
+      | None, None -> Ok None
+      | _ -> Result.map Option.some (intent_of_args ~semantics ~intent_file registry)
+    in
+    match intent with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let cat_intent =
+          match intent with Some i -> i | None -> Nic_models.Catalog.fig1_intent
+        in
+        let models = Nic_models.Catalog.all ~intent:cat_intent () in
+        let analyze_target name =
+          match Nic_models.Catalog.find name models with
+          | Some m ->
+              Ok
+                ( m.Nic_models.Model.spec.nic_name,
+                  Opendesc.Nic_spec.analyze ~registry ?intent m.spec )
+          | None ->
+              if Sys.file_exists name then
+                Ok
+                  ( Filename.remove_extension (Filename.basename name),
+                    Opendesc.Nic_spec.analyze_source ~registry ?intent
+                      (read_file name) )
+              else
+                Error
+                  (Printf.sprintf
+                     "unknown NIC %S (not a built-in model and no such file); \
+                      try 'opendesc_cc list'"
+                     name)
+        in
+        let targets =
+          match targets with
+          | [] ->
+              List.map
+                (fun (m : Nic_models.Model.t) -> m.spec.nic_name)
+                models
+          | ts -> ts
+        in
+        let rec collect acc = function
+          | [] -> Ok (List.rev acc)
+          | t :: rest -> (
+              match analyze_target t with
+              | Error e -> Error e
+              | Ok r -> collect (r :: acc) rest)
+        in
+        match collect [] targets with
+        | Error e -> fail "%s" e
+        | Ok results ->
+            let count sev =
+              List.fold_left
+                (fun n (_, ds) ->
+                  n
+                  + List.length
+                      (List.filter (fun (d : Dg.t) -> d.d_severity = sev) ds))
+                0 results
+            in
+            let errors = count Dg.Error
+            and warnings = count Dg.Warning
+            and infos = count Dg.Info in
+            if json then begin
+              let target_json (name, ds) =
+                Printf.sprintf "    {\"name\": \"%s\", \"diagnostics\": [%s]}"
+                  (Dg.json_escape name)
+                  (match ds with
+                  | [] -> ""
+                  | ds ->
+                      "\n      "
+                      ^ String.concat ",\n      " (List.map Dg.to_json ds)
+                      ^ "\n    ")
+              in
+              Printf.printf
+                "{\n\
+                \  \"schema\": \"opendesc-lint-1\",\n\
+                \  \"targets\": [\n\
+                 %s\n\
+                \  ],\n\
+                \  \"summary\": {\"errors\": %d, \"warnings\": %d, \"infos\": \
+                 %d}\n\
+                 }\n"
+                (String.concat ",\n" (List.map target_json results))
+                errors warnings infos
+            end
+            else begin
+              List.iter
+                (fun (name, ds) ->
+                  if ds <> [] then begin
+                    Printf.printf "%s:\n" name;
+                    List.iter
+                      (fun d -> Printf.printf "  %s\n" (Dg.to_string d))
+                      ds
+                  end)
+                results;
+              Printf.printf
+                "checked %d target(s): %d error(s), %d warning(s), %d info(s)\n"
+                (List.length results) errors warnings infos
+            end;
+            if
+              Opendesc_analysis.Engine.failing ~werror
+                (List.concat_map snd results)
+            then exit 1
+            else `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "lint"
+       ~doc:
+         "Run the descriptor-contract verifier: layout safety, path \
+          feasibility, contract consistency against the semantic registry, \
+          and codegen verification, with structured located diagnostics.")
+    Term.(
+      ret
+        (const run $ targets_arg $ semantics_arg $ intent_arg $ werror_arg
+       $ json_arg))
+
 (* --- shims --------------------------------------------------------- *)
 
 let shims_cmd =
@@ -486,7 +625,7 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; parallel_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; lint_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,12 @@
+/* The paper's Figure 1 application intent: flow-steering metadata plus
+   a KVS key, the set the multi-NIC portability example compiles against
+   every catalogue model. Lintable standalone:
+
+     opendesc_cc lint examples/intents/fig1.p4
+*/
+@intent header fig1_intent_t {
+  @semantic("ip_checksum") bit<16> csum;
+  @semantic("vlan")        bit<16> vlan;
+  @semantic("rss")         bit<32> hash;
+  @semantic("kvs_key")     bit<64> key;
+}

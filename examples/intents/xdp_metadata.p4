@@ -1,0 +1,7 @@
+/* The XDP metadata-accessor intent (experiment C4): the three semantics
+   the Linux kernel's xdp_metadata kfuncs expose today. */
+@intent header xdp_metadata_intent_t {
+  @semantic("rss")            bit<32> hash;
+  @semantic("wire_timestamp") bit<64> rx_timestamp;
+  @semantic("vlan")           bit<16> vlan_tag;
+}

@@ -1,0 +1,127 @@
+type severity = Error | Warning | Info
+
+type note = { n_loc : P4.Loc.span option; n_msg : string }
+
+type t = {
+  d_code : string;
+  d_severity : severity;
+  d_loc : P4.Loc.span option;
+  d_msg : string;
+  d_notes : note list;
+}
+
+let severity_to_string = function
+  | Error -> "error"
+  | Warning -> "warning"
+  | Info -> "info"
+
+let severity_rank = function Error -> 0 | Warning -> 1 | Info -> 2
+
+(* Spans coming out of the front end may be Loc.dummy (synthesized
+   nodes); a diagnostic only keeps positions that point somewhere. *)
+let loc_of_span sp = if P4.Ast.span_known sp then Some sp else None
+
+let note ?span msg = { n_loc = Option.bind span loc_of_span; n_msg = msg }
+
+let make ?span ?(notes = []) ~code ~severity fmt =
+  Printf.ksprintf
+    (fun msg ->
+      {
+        d_code = code;
+        d_severity = severity;
+        d_loc = Option.bind span loc_of_span;
+        d_msg = msg;
+        d_notes = notes;
+      })
+    fmt
+
+(* Diagnostics are produced against the prelude-prefixed source; shift
+   them back into the user's own line numbers. Positions that land in
+   the prelude itself (or are unknown) are dropped rather than reported
+   at a negative line. *)
+let shift_span ~lines (sp : P4.Loc.span) =
+  let move (p : P4.Loc.pos) = { p with P4.Loc.line = p.P4.Loc.line - lines } in
+  { P4.Loc.left = move sp.P4.Loc.left; right = move sp.P4.Loc.right }
+
+let relocate ~lines t =
+  if lines = 0 then t
+  else
+    let fix = function
+      | Some (sp : P4.Loc.span) when sp.P4.Loc.left.P4.Loc.line > lines ->
+          Some (shift_span ~lines sp)
+      | _ -> None
+    in
+    {
+      t with
+      d_loc = fix t.d_loc;
+      d_notes = List.map (fun n -> { n with n_loc = fix n.n_loc }) t.d_notes;
+    }
+
+let line_col = function
+  | Some (sp : P4.Loc.span) -> (sp.P4.Loc.left.P4.Loc.line, sp.P4.Loc.left.P4.Loc.col)
+  | None -> (max_int, max_int)
+
+(* Order: by position (diagnostics without one last), then severity,
+   then code — a stable presentation order for reports and goldens. *)
+let compare a b =
+  let la, ca = line_col a.d_loc and lb, cb = line_col b.d_loc in
+  let c = Int.compare la lb in
+  if c <> 0 then c
+  else
+    let c = Int.compare ca cb in
+    if c <> 0 then c
+    else
+      let c = Int.compare (severity_rank a.d_severity) (severity_rank b.d_severity) in
+      if c <> 0 then c
+      else
+        let c = String.compare a.d_code b.d_code in
+        if c <> 0 then c else String.compare a.d_msg b.d_msg
+
+let pos_prefix = function
+  | Some (sp : P4.Loc.span) ->
+      Printf.sprintf "%d:%d: " sp.P4.Loc.left.P4.Loc.line sp.P4.Loc.left.P4.Loc.col
+  | None -> ""
+
+let to_string t =
+  let base =
+    Printf.sprintf "%s%s[%s]: %s" (pos_prefix t.d_loc)
+      (severity_to_string t.d_severity)
+      t.d_code t.d_msg
+  in
+  List.fold_left
+    (fun acc n -> acc ^ Printf.sprintf " (note: %s%s)" (pos_prefix n.n_loc) n.n_msg)
+    base t.d_notes
+
+let json_escape s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let json_of_loc = function
+  | Some (sp : P4.Loc.span) ->
+      Printf.sprintf "\"line\":%d,\"col\":%d," sp.P4.Loc.left.P4.Loc.line
+        sp.P4.Loc.left.P4.Loc.col
+  | None -> ""
+
+let to_json t =
+  let notes =
+    t.d_notes
+    |> List.map (fun n ->
+           Printf.sprintf "{%s\"message\":\"%s\"}" (json_of_loc n.n_loc)
+             (json_escape n.n_msg))
+    |> String.concat ","
+  in
+  Printf.sprintf "{\"code\":\"%s\",\"severity\":\"%s\",%s\"message\":\"%s\",\"notes\":[%s]}"
+    (json_escape t.d_code)
+    (severity_to_string t.d_severity)
+    (json_of_loc t.d_loc) (json_escape t.d_msg) notes

@@ -1,0 +1,703 @@
+module D = Diagnostic
+
+type input = {
+  in_tenv : P4.Typecheck.t;
+  in_deparser : P4.Typecheck.control_def option;
+      (** pass the resolved deparser, or [None] to locate it *)
+  in_desc_parser : P4.Typecheck.parser_def option;
+  in_registry : Registry_view.t;
+  in_intent : (string * int) list option;  (** requested (semantic, width) *)
+  in_line_offset : int;  (** prelude lines to subtract from spans *)
+}
+
+(* One field of a concrete completion layout, as the codegen pass sees
+   it. Kept independent of the opendesc Path type so the bounds check is
+   unit-testable against hand-built layouts. *)
+type afield = {
+  af_name : string;
+  af_header : string;
+  af_semantic : string option;
+  af_bit_off : int;
+  af_bits : int;
+  af_span : P4.Loc.span;
+}
+
+let contains_sub hay needle =
+  let hay = String.lowercase_ascii hay in
+  let hl = String.length hay and nl = String.length needle in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+let is_intent_header (h : P4.Typecheck.header_def) =
+  P4.Ast.find_annotation "intent" h.h_annots <> None
+  || contains_sub h.h_name "intent"
+
+(* ------------------------------------------------------------------ *)
+(* Deparser preparation: IR, context assignments, distinct runs. *)
+
+type group = {
+  g_index : int;  (** encounter order — matches Path.enumerate's p_index *)
+  g_run : Dep_ir.run;
+  g_assigns : Ctxdom.assignment list;
+}
+
+type dep_prep = {
+  p_ctrl : P4.Typecheck.control_def;
+  p_ir : Dep_ir.t;
+  p_ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
+  p_assignments : Ctxdom.assignment list;
+  p_runs : Dep_ir.run list;  (** every run, including forked ones *)
+  p_groups : group list;  (** distinct emit sequences *)
+}
+
+let fields_of_run (r : Dep_ir.run) : afield list =
+  List.concat_map
+    (fun (x : Dep_ir.exec_emit) ->
+      let h = x.Dep_ir.x_emit.Dep_ir.e_header in
+      List.map
+        (fun (f : P4.Typecheck.field) ->
+          {
+            af_name = f.f_name;
+            af_header = h.h_name;
+            af_semantic = f.f_semantic;
+            af_bit_off = x.Dep_ir.x_bit_off + f.f_bit_off;
+            af_bits = f.f_bits;
+            af_span = f.f_span;
+          })
+        h.h_fields)
+    r.Dep_ir.r_emits
+
+let describe_run (r : Dep_ir.run) =
+  "["
+  ^ String.concat "; "
+      (List.map (fun (x : Dep_ir.exec_emit) -> x.Dep_ir.x_emit.Dep_ir.e_arg) r.Dep_ir.r_emits)
+  ^ "]"
+
+let run_semantics r =
+  List.filter_map (fun af -> af.af_semantic) (fields_of_run r)
+  |> List.sort_uniq String.compare
+
+let last_emit_span (r : Dep_ir.run) =
+  match List.rev r.Dep_ir.r_emits with
+  | x :: _ -> Some x.Dep_ir.x_emit.Dep_ir.e_span
+  | [] -> None
+
+let group_runs (runs : (Ctxdom.assignment * Dep_ir.run) list) : group list =
+  let key (r : Dep_ir.run) =
+    List.map (fun (x : Dep_ir.exec_emit) -> x.Dep_ir.x_emit.Dep_ir.e_id) r.Dep_ir.r_emits
+  in
+  let groups : (int list * Dep_ir.run * Ctxdom.assignment list ref) list ref =
+    ref []
+  in
+  List.iter
+    (fun (a, r) ->
+      let k = key r in
+      match List.find_opt (fun (k', _, _) -> k' = k) !groups with
+      | Some (_, _, assigns) -> assigns := a :: !assigns
+      | None -> groups := !groups @ [ (k, r, ref [ a ]) ])
+    runs;
+  List.mapi
+    (fun i (_, r, assigns) ->
+      { g_index = i; g_run = r; g_assigns = List.rev !assigns })
+    !groups
+
+let locate_deparser tenv =
+  let has_cmpt_out c = Dep_ir.out_param c <> None in
+  let annotated (c : P4.Typecheck.control_def) =
+    P4.Ast.find_annotation "cmpt_deparser" c.ct_annots <> None
+  in
+  let candidates = List.filter has_cmpt_out (P4.Typecheck.controls tenv) in
+  match List.filter annotated candidates with
+  | [ c ] -> Ok (Some c)
+  | _ :: _ :: _ -> Error "multiple @cmpt_deparser controls"
+  | [] -> (
+      match candidates with
+      | [ c ] -> Ok (Some c)
+      | [] -> Ok None
+      | _ -> Error "multiple deparser candidates; tag one with @cmpt_deparser")
+
+let prepare add (inp : input) : dep_prep option =
+  let tenv = inp.in_tenv in
+  let ctrl =
+    match inp.in_deparser with
+    | Some c -> Some c
+    | None -> (
+        match locate_deparser tenv with
+        | Ok (Some c) -> Some c
+        | Ok None ->
+            (* An intent description has no deparser by design; anything
+               else is a malformed interface. *)
+            if not (List.exists is_intent_header (P4.Typecheck.headers tenv))
+            then
+              add
+                (D.make ~code:"OD002" ~severity:D.Error
+                   "no completion deparser found (no control takes a cmpt_out)");
+            None
+        | Error msg ->
+            add (D.make ~code:"OD002" ~severity:D.Error "%s" msg);
+            None)
+  in
+  match ctrl with
+  | None -> None
+  | Some ctrl -> (
+      match Dep_ir.of_control tenv ctrl with
+      | Error msg ->
+          add (D.make ~span:ctrl.ct_span ~code:"OD002" ~severity:D.Error "%s" msg);
+          None
+      | Ok ir ->
+          let ctx = Ctxdom.find_in ctrl.ct_params in
+          let assignments =
+            match ctx with
+            | None -> [ [] ]
+            | Some (_, h) -> (
+                match Ctxdom.enumerate h with
+                | Ok a -> a
+                | Error msg ->
+                    add
+                      (D.make ~span:h.h_span ~code:"OD002" ~severity:D.Error
+                         "%s" msg);
+                    [ [] ])
+          in
+          let ctx_name = match ctx with Some (p, _) -> p.c_name | None -> "ctx" in
+          let consts = P4.Typecheck.const_env tenv in
+          let runs =
+            List.concat_map
+              (fun a ->
+                let ctx_env = Ctxdom.env_of ~param_name:ctx_name a in
+                List.map (fun r -> (a, r)) (Dep_ir.run ~consts ~ctx_env ir))
+              assignments
+          in
+          Some
+            {
+              p_ctrl = ctrl;
+              p_ir = ir;
+              p_ctx = ctx;
+              p_assignments = assignments;
+              p_runs = List.map snd runs;
+              p_groups = group_runs runs;
+            })
+
+(* ------------------------------------------------------------------ *)
+(* Pass 1: layout safety. *)
+
+let slot_bytes (ctrl : P4.Typecheck.control_def) =
+  Option.bind
+    (P4.Ast.find_annotation "cmpt_slot" ctrl.ct_annots)
+    P4.Ast.annotation_int
+
+let layout_pass add (prep : dep_prep) =
+  let slot = slot_bytes prep.p_ctrl in
+  List.iter
+    (fun g ->
+      let r = g.g_run in
+      let desc = describe_run r in
+      let span = last_emit_span r in
+      if r.Dep_ir.r_total_bits mod 8 <> 0 then
+        add
+          (D.make ?span ~code:"OD003" ~severity:D.Error
+             "completion path %s totals %d bits, not a byte multiple; the \
+              device cannot DMA it"
+             desc r.Dep_ir.r_total_bits)
+      else begin
+        let size = r.Dep_ir.r_total_bits / 8 in
+        match slot with
+        | Some s when size > s ->
+            add
+              (D.make ?span ~code:"OD004" ~severity:D.Error
+                 "completion path %s is %d bytes, exceeding the declared \
+                  %d-byte DMA completion slot"
+                 desc size s)
+        | _ -> ()
+      end;
+      (* The same header emitted twice writes every field at two offsets. *)
+      let seen_args = Hashtbl.create 4 in
+      List.iter
+        (fun (x : Dep_ir.exec_emit) ->
+          let arg = x.Dep_ir.x_emit.Dep_ir.e_arg in
+          if Hashtbl.mem seen_args arg then
+            add
+              (D.make ~span:x.Dep_ir.x_emit.Dep_ir.e_span ~code:"OD005"
+                 ~severity:D.Warning
+                 "header %s is emitted twice on completion path %s; its \
+                  fields are written twice at different offsets"
+                 arg desc)
+          else Hashtbl.add seen_args arg ())
+        r.Dep_ir.r_emits;
+      (* A semantic carried twice on one path: only the first copy is
+         read by accessors. Duplicates caused by re-emitting the same
+         header are already covered by OD005. *)
+      let header_count hname =
+        List.length
+          (List.filter
+             (fun (x : Dep_ir.exec_emit) ->
+               x.Dep_ir.x_emit.Dep_ir.e_header.h_name = hname)
+             r.Dep_ir.r_emits)
+      in
+      let seen_sems : (string, string) Hashtbl.t = Hashtbl.create 8 in
+      List.iter
+        (fun af ->
+          match af.af_semantic with
+          | None -> ()
+          | Some s -> (
+              match Hashtbl.find_opt seen_sems s with
+              | Some prev_header
+                when prev_header = af.af_header && header_count af.af_header > 1
+                ->
+                  () (* re-emitted header; OD005 already fired *)
+              | Some _ ->
+                  add
+                    (D.make ~span:af.af_span ~code:"OD006" ~severity:D.Warning
+                       "completion path %s carries semantic %S twice (only \
+                        the first copy is read)"
+                       desc s)
+              | None -> Hashtbl.add seen_sems s af.af_header))
+        (fields_of_run r))
+    prep.p_groups
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2: path feasibility and dead code. *)
+
+let rec expr_paths (e : P4.Ast.expr) acc =
+  match P4.Eval.path_of_expr e with
+  | Some p -> p :: acc
+  | None -> (
+      match e with
+      | P4.Ast.EUnop (_, a) | P4.Ast.ECast (_, a) -> expr_paths a acc
+      | P4.Ast.EBinop (_, a, b) | P4.Ast.EIndex (a, b) ->
+          expr_paths a (expr_paths b acc)
+      | P4.Ast.ETernary (a, b, c) -> expr_paths a (expr_paths b (expr_paths c acc))
+      | P4.Ast.ECall (f, _, args) ->
+          List.fold_left (fun acc a -> expr_paths a acc) (expr_paths f acc) args
+      | P4.Ast.EMember (b, _) -> expr_paths b acc
+      | _ -> acc)
+
+let feasibility_pass add tenv (prep : dep_prep) =
+  let ir = prep.p_ir in
+  (* OD007: emit sites reached by no run under any configuration. *)
+  let reached = Hashtbl.create 8 in
+  List.iter
+    (fun (r : Dep_ir.run) ->
+      List.iter
+        (fun (x : Dep_ir.exec_emit) ->
+          Hashtbl.replace reached x.Dep_ir.x_emit.Dep_ir.e_id ())
+        r.Dep_ir.r_emits)
+    prep.p_runs;
+  List.iter
+    (fun (em : Dep_ir.emit) ->
+      if not (Hashtbl.mem reached em.Dep_ir.e_id) then
+        add
+          (D.make ~span:em.Dep_ir.e_span ~code:"OD007" ~severity:D.Warning
+             "emit of %s is dead: no context configuration reaches it"
+             em.Dep_ir.e_arg))
+    ir.Dep_ir.ir_emits;
+  (* OD008: a branch predicate that evaluates the same way under every
+     context configuration (evaluated standalone, so nesting under other
+     branches does not mask infeasible predicates). Predicates reading
+     locals are data-dependent and skipped. *)
+  let consts = P4.Typecheck.const_env tenv in
+  let ctx_name =
+    match prep.p_ctx with Some (p, _) -> p.c_name | None -> "ctx"
+  in
+  List.iter
+    (fun ((_, cond) : int * P4.Ast.expr) ->
+      let outcomes =
+        List.filter_map
+          (fun a ->
+            let ctx_env = Ctxdom.env_of ~param_name:ctx_name a in
+            let env path =
+              match ctx_env path with Some v -> Some v | None -> consts path
+            in
+            P4.Eval.eval_bool env cond)
+          prep.p_assignments
+      in
+      if
+        List.length outcomes = List.length prep.p_assignments
+        && outcomes <> []
+      then
+        match List.sort_uniq Bool.compare outcomes with
+        | [ b ] ->
+            add
+              (D.make ~span:(P4.Ast.expr_span cond) ~code:"OD008"
+                 ~severity:D.Warning
+                 "branch predicate %s is always %b for every context \
+                  configuration (%d checked); one side is unreachable"
+                 (P4.Pretty.expr_to_string cond)
+                 b
+                 (List.length prep.p_assignments))
+        | _ -> ())
+    ir.Dep_ir.ir_ifs;
+  (* OD009: context fields with no influence on any branch, through a
+     taint closure over local definitions. *)
+  match prep.p_ctx with
+  | None -> ()
+  | Some (param, ctx_header) ->
+      let defs = ref [] and conds = ref [] in
+      let rec collect nodes =
+        List.iter
+          (fun (n : Dep_ir.node) ->
+            match n with
+            | Dep_ir.NIf { i_cond; i_then; i_else; _ } ->
+                conds := i_cond :: !conds;
+                collect i_then;
+                collect i_else
+            | Dep_ir.NAssign (l, r) -> (
+                match P4.Eval.path_of_expr l with
+                | Some p -> defs := (p, expr_paths r []) :: !defs
+                | None -> ())
+            | Dep_ir.NDecl (n, Some e) -> defs := ([ n ], expr_paths e []) :: !defs
+            | _ -> ())
+          nodes
+      in
+      collect ir.Dep_ir.ir_nodes;
+      let rec close set =
+        let grown =
+          List.fold_left
+            (fun acc (p, vars) ->
+              if List.mem p acc then
+                List.fold_left
+                  (fun acc v -> if List.mem v acc then acc else v :: acc)
+                  acc vars
+              else acc)
+            set !defs
+        in
+        if List.length grown = List.length set then set else close grown
+      in
+      let influencing =
+        close (List.concat_map (fun c -> expr_paths c []) !conds)
+      in
+      let whole_ctx_used = List.mem [ param.P4.Typecheck.c_name ] influencing in
+      List.iter
+        (fun (f : P4.Typecheck.field) ->
+          if
+            (not whole_ctx_used)
+            && not (List.mem [ param.P4.Typecheck.c_name; f.f_name ] influencing)
+          then
+            add
+              (D.make ~span:f.f_span ~code:"OD009" ~severity:D.Info
+                 "context field %s.%s never influences a branch; it cannot \
+                  select a completion layout"
+                 ctx_header.h_name f.f_name))
+        ctx_header.h_fields
+
+(* ------------------------------------------------------------------ *)
+(* Pass 3: contract consistency. *)
+
+(* Headers whose contents actually cross the interface: emitted on some
+   completion run, or named in any emit/extract call of any control or
+   parser (packet streams included), or serving as the context. *)
+let used_headers tenv (prep : dep_prep option) =
+  let used = Hashtbl.create 16 in
+  let note_header = function
+    | P4.Typecheck.RHeader h -> Hashtbl.replace used h.P4.Typecheck.h_name ()
+    | _ -> ()
+  in
+  let scan_expr tenv scope (e : P4.Ast.expr) =
+    match e with
+    | P4.Ast.ECall (P4.Ast.EMember (_, meth), _, [ arg ])
+      when meth.name = "emit" || meth.name = "extract" -> (
+        match P4.Typecheck.type_of_expr tenv scope arg with
+        | ty -> note_header ty
+        | exception P4.Typecheck.Type_error _ -> ())
+    | _ -> ()
+  in
+  let rec scan_stmt tenv scope (s : P4.Ast.stmt) =
+    match s with
+    | P4.Ast.SCall e -> scan_expr tenv scope e
+    | P4.Ast.SIf (_, th, el) ->
+        List.iter (scan_stmt tenv scope) th;
+        Option.iter (List.iter (scan_stmt tenv scope)) el
+    | P4.Ast.SBlock b -> List.iter (scan_stmt tenv scope) b
+    | _ -> ()
+  in
+  List.iter
+    (fun (c : P4.Typecheck.control_def) ->
+      let scope = P4.Typecheck.scope_of_control tenv c in
+      List.iter (scan_stmt tenv scope) c.ct_body)
+    (P4.Typecheck.controls tenv);
+  List.iter
+    (fun (p : P4.Typecheck.parser_def) ->
+      let scope = P4.Typecheck.scope_of_params tenv p.pr_params in
+      List.iter
+        (fun (st : P4.Ast.parser_state) ->
+          List.iter (scan_stmt tenv scope) st.st_stmts)
+        p.pr_states)
+    (P4.Typecheck.parsers tenv);
+  (match prep with
+  | Some prep -> (
+      List.iter
+        (fun g ->
+          List.iter
+            (fun (x : Dep_ir.exec_emit) ->
+              Hashtbl.replace used x.Dep_ir.x_emit.Dep_ir.e_header.h_name ())
+            g.g_run.Dep_ir.r_emits)
+        prep.p_groups;
+      match prep.p_ctx with
+      | Some (_, h) -> Hashtbl.replace used h.P4.Typecheck.h_name ()
+      | None -> ())
+  | None -> ());
+  used
+
+let contract_pass add (inp : input) (prep : dep_prep option) (tx_formats : Tx_ir.fmt list) =
+  let tenv = inp.in_tenv in
+  let registry = inp.in_registry in
+  let reported_unknown = Hashtbl.create 8 in
+  let unknown ?span s =
+    if not (Hashtbl.mem reported_unknown s) then begin
+      Hashtbl.add reported_unknown s ();
+      add
+        (D.make ?span ~code:"OD010" ~severity:D.Warning
+           "unknown semantic %S (typo? register it or fix the annotation)" s)
+    end
+  in
+  (* OD010 / OD011 over every @semantic field of every header. *)
+  List.iter
+    (fun (h : P4.Typecheck.header_def) ->
+      List.iter
+        (fun (f : P4.Typecheck.field) ->
+          match f.f_semantic with
+          | None -> ()
+          | Some s ->
+              if not (registry.Registry_view.known s) then unknown ~span:f.f_span s
+              else (
+                match registry.Registry_view.width s with
+                | Some w when f.f_bits < w ->
+                    add
+                      (D.make ~span:f.f_span ~code:"OD011" ~severity:D.Warning
+                         "field %s.%s (@semantic %S) is %d bits, narrower \
+                          than the registry's %d bits; values will be \
+                          truncated"
+                         h.h_name f.f_name s f.f_bits w)
+                | Some w when f.f_bits > w ->
+                    add
+                      (D.make ~span:f.f_span ~code:"OD011" ~severity:D.Info
+                         "field %s.%s (@semantic %S) is %d bits, wider than \
+                          the registry's %d bits (the upper bits are zero \
+                          padding)"
+                         h.h_name f.f_name s f.f_bits w)
+                | _ -> ()))
+        h.h_fields)
+    (P4.Typecheck.headers tenv);
+  (* OD012: declared contract surface nothing ever carries. *)
+  let used = used_headers tenv prep in
+  List.iter
+    (fun (h : P4.Typecheck.header_def) ->
+      let sems =
+        List.filter_map (fun (f : P4.Typecheck.field) -> f.f_semantic) h.h_fields
+      in
+      if sems <> [] && (not (Hashtbl.mem used h.h_name)) && not (is_intent_header h)
+      then
+        add
+          (D.make ~span:h.h_span ~code:"OD012" ~severity:D.Warning
+             "header %s carries @semantic fields but is never emitted to a \
+              completion nor extracted from a descriptor; its semantics are \
+              unreachable"
+             h.h_name))
+    (P4.Typecheck.headers tenv);
+  (* OD013: dominated paths — same Prov means the same Eq. 1 coverage for
+     every intent, so the larger layout (or, on a size tie, the higher
+     index) can never be selected. *)
+  (match prep with
+  | None -> ()
+  | Some prep ->
+      let paths =
+        List.filter_map
+          (fun g ->
+            if g.g_run.Dep_ir.r_total_bits mod 8 = 0 then
+              Some
+                ( g.g_index,
+                  run_semantics g.g_run,
+                  g.g_run.Dep_ir.r_total_bits / 8 )
+            else None)
+          prep.p_groups
+      in
+      List.iter
+        (fun (ia, prov_a, sz_a) ->
+          List.iter
+            (fun (ib, prov_b, sz_b) ->
+              if ia < ib && prov_a = prov_b then
+                let span = prep.p_ctrl.ct_span in
+                let notes =
+                  [ D.note (Printf.sprintf "shared semantics: {%s}" (String.concat ", " prov_a)) ]
+                in
+                if sz_a <> sz_b then
+                  add
+                    (D.make ~span ~notes ~code:"OD013" ~severity:D.Warning
+                       "paths #%d and #%d provide the same semantics; the \
+                        %d-byte layout can never be selected (Eq. 1 always \
+                        prefers the %d-byte one)"
+                       ia ib (max sz_a sz_b) (min sz_a sz_b))
+                else
+                  add
+                    (D.make ~span ~notes ~code:"OD013" ~severity:D.Warning
+                       "paths #%d and #%d provide the same semantics at the \
+                        same size (%d bytes); path #%d can never be selected \
+                        (ties break toward the lower index)"
+                       ia ib sz_a ib))
+            paths)
+        paths);
+  (* OD014: TX formats the host cannot use to send. *)
+  List.iter
+    (fun (f : Tx_ir.fmt) ->
+      let sems =
+        List.concat_map
+          (fun ((_, h) : string * P4.Typecheck.header_def) ->
+            List.filter_map
+              (fun (fd : P4.Typecheck.field) -> fd.f_semantic)
+              h.h_fields)
+          f.Tx_ir.t_extracts
+      in
+      if not (List.mem "buf_addr" sems) then
+        let span =
+          Option.map (fun (p : P4.Typecheck.parser_def) -> p.pr_span) inp.in_desc_parser
+        in
+        add
+          (D.make ?span ~code:"OD014" ~severity:D.Warning
+             "TX format #%d has no buf_addr field; the device cannot fetch \
+              packets"
+             f.Tx_ir.t_index))
+    tx_formats;
+  (* OD015: an intent asking for hardware the NIC does not expose. *)
+  match inp.in_intent with
+  | None -> ()
+  | Some fields ->
+      let provided =
+        match prep with
+        | None -> []
+        | Some prep ->
+            List.concat_map (fun g -> run_semantics g.g_run) prep.p_groups
+            |> List.sort_uniq String.compare
+      in
+      List.iter
+        (fun (s, _w) ->
+          if not (registry.Registry_view.known s) then unknown s
+          else if
+            registry.Registry_view.hardware_only s
+            && prep <> None
+            && not (List.mem s provided)
+          then
+            add
+              (D.make ~code:"OD015" ~severity:D.Error
+                 "intent requests hardware-only semantic %S but no completion \
+                  path of this NIC provides it; Eq. 1 has no software fallback"
+                 s))
+        fields
+
+(* ------------------------------------------------------------------ *)
+(* Pass 4: codegen verification. *)
+
+(* Mirror of the accessor shapes the C and eBPF emitters synthesize
+   (lib/opendesc/accessor.ml, codegen_c.ml, codegen_ebpf.ml): aligned
+   power-of-two fields are direct loads of bytes [off/8 .. off/8+n-1];
+   everything else is a byte walk over [off/8 .. (off+bits-1)/8]. Both
+   shapes are straight-line with compile-time-constant bounds, so the
+   constant-time obligation reduces to the width limit checked here. *)
+let check_accessor_bounds ?(path_desc = "") ~size_bytes fields =
+  List.concat_map
+    (fun af ->
+      if af.af_bits > 64 then
+        match af.af_semantic with
+        | Some s ->
+            [
+              D.make ~span:af.af_span ~code:"OD017" ~severity:D.Error
+                "field %s.%s (@semantic %S) is %d bits wide; accessors are \
+                 synthesized as constant-time loads of at most 64 bits, so \
+                 this read is not synthesizable (the C and eBPF accessors \
+                 would return a constant 0)"
+                af.af_header af.af_name s af.af_bits;
+            ]
+        | None -> [] (* unannotated blobs are padding; nothing reads them *)
+      else
+        let first = af.af_bit_off / 8 in
+        let last =
+          if af.af_bit_off mod 8 = 0 && af.af_bits mod 8 = 0 then
+            first + (af.af_bits / 8) - 1
+          else (af.af_bit_off + af.af_bits - 1) / 8
+        in
+        if last >= size_bytes then
+          [
+            D.make ~span:af.af_span ~code:"OD016" ~severity:D.Error
+              "accessor for %s.%s reads bytes %d..%d but Size(p)%s is %d \
+               bytes; the C and eBPF accessors would read out of bounds"
+              af.af_header af.af_name first last
+              (if path_desc = "" then "" else " of path " ^ path_desc)
+              size_bytes;
+          ]
+        else [])
+    fields
+
+let codegen_pass add (prep : dep_prep) =
+  List.iter
+    (fun g ->
+      let r = g.g_run in
+      if r.Dep_ir.r_total_bits mod 8 = 0 then
+        check_accessor_bounds ~path_desc:(describe_run r)
+          ~size_bytes:(r.Dep_ir.r_total_bits / 8)
+          (fields_of_run r)
+        |> List.iter add)
+    prep.p_groups
+
+(* ------------------------------------------------------------------ *)
+(* Engine entry points. *)
+
+let analyze (inp : input) : D.t list =
+  let acc = ref [] in
+  let add d = acc := d :: !acc in
+  let prep = prepare add inp in
+  (match prep with
+  | Some prep ->
+      layout_pass add prep;
+      feasibility_pass add inp.in_tenv prep;
+      codegen_pass add prep
+  | None -> ());
+  let tx_formats =
+    match inp.in_desc_parser with
+    | None -> []
+    | Some pd -> (
+        match Tx_ir.enumerate inp.in_tenv pd with
+        | Ok f -> f
+        | Error msg ->
+            add (D.make ~span:pd.pr_span ~code:"OD002" ~severity:D.Error "%s" msg);
+            [])
+  in
+  contract_pass add inp prep tx_formats;
+  !acc
+  |> List.map (D.relocate ~lines:inp.in_line_offset)
+  |> List.sort_uniq D.compare
+
+let analyze_program ~registry ?intent ?(line_offset = 0) tenv =
+  let desc_parser =
+    List.find_opt Tx_ir.is_desc_parser (P4.Typecheck.parsers tenv)
+  in
+  analyze
+    {
+      in_tenv = tenv;
+      in_deparser = None;
+      in_desc_parser = desc_parser;
+      in_registry = registry;
+      in_intent = intent;
+      in_line_offset = line_offset;
+    }
+
+let analyze_source ~registry ?intent ?(prelude = "") src =
+  let full = prelude ^ src in
+  let off = List.length (String.split_on_char '\n' prelude) - 1 in
+  match P4.Typecheck.check_string full with
+  | tenv -> analyze_program ~registry ?intent ~line_offset:off tenv
+  | exception P4.Typecheck.Type_error (msg, sp) ->
+      [
+        D.relocate ~lines:off
+          (D.make ~span:sp ~code:"OD001" ~severity:D.Error "type error: %s" msg);
+      ]
+  | exception exn -> (
+      match P4.Parser.error_to_string full exn with
+      | Some s -> [ D.make ~code:"OD001" ~severity:D.Error "%s" s ]
+      | None -> raise exn)
+
+let failing ~werror ds =
+  List.exists
+    (fun (d : D.t) ->
+      match d.D.d_severity with
+      | D.Error -> true
+      | D.Warning -> werror
+      | D.Info -> false)
+    ds

@@ -1,0 +1,17 @@
+(* The engine never depends on the opendesc library; callers hand it a
+   functional view of whatever semantic registry they use. *)
+
+type t = {
+  known : string -> bool;
+  width : string -> int option;  (** registry width in bits *)
+  sw_cost : string -> float;  (** Eq. 1 software-fallback cost *)
+  hardware_only : string -> bool;  (** no software fallback exists *)
+}
+
+let empty =
+  {
+    known = (fun _ -> false);
+    width = (fun _ -> None);
+    sw_cost = (fun _ -> infinity);
+    hardware_only = (fun _ -> false);
+  }

@@ -32,7 +32,7 @@ parser E1000DescParser(desc_in d, in e1000_nullctx_t h2c_ctx,
   }
 }
 
-@cmpt_deparser
+@cmpt_deparser @cmpt_slot(8)
 control E1000CmptDeparser(cmpt_out o, in e1000_nullctx_t c2h_ctx,
                           in e1000_tx_desc_t desc_hdr,
                           in e1000_legacy_cmpt_t pipe_meta) {
@@ -87,7 +87,7 @@ parser E1000DescParser(desc_in d, in e1000_ctx_t h2c_ctx,
   }
 }
 
-@cmpt_deparser
+@cmpt_deparser @cmpt_slot(8)
 control E1000CmptDeparser(cmpt_out o, in e1000_ctx_t ctx,
                           in e1000_tx_desc_t desc_hdr,
                           in e1000_meta_t pipe_meta) {

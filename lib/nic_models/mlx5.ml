@@ -60,7 +60,7 @@ parser Mlx5DescParser(desc_in d, in mlx5_ctx_t h2c_ctx,
   }
 }
 
-@cmpt_deparser
+@cmpt_deparser @cmpt_slot(64)
 control Mlx5CmptDeparser(cmpt_out o, in mlx5_ctx_t ctx,
                          in mlx5_tx_desc_t desc_hdr,
                          in mlx5_meta_t pipe_meta) {

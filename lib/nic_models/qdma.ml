@@ -1,7 +1,18 @@
 let sizes = [ 8; 16; 32; 64 ]
 
-(* Pack intent fields greedily into [size_bytes], padding the remainder. *)
-let pack_fields (intent : Opendesc.Intent.t) size_bytes =
+(* Telemetry packed into whatever budget the intent leaves, so each
+   completion size carries strictly richer metadata than the previous
+   one — no format is a padded copy a larger Eq. 1 score would always
+   reject. Ordered by usefulness; widths come from the registry. *)
+let bonus_semantics =
+  [
+    "timestamp"; "flow_id"; "pkt_len"; "mark"; "crc"; "l4_checksum";
+    "tunnel_vni"; "flow_pkts"; "ip_id"; "lro_num_seg"; "rss_type";
+  ]
+
+(* Pack intent fields greedily into [size_bytes], then fill the
+   remaining budget with bonus telemetry, padding whatever is left. *)
+let pack_fields (intent : Opendesc.Intent.t) registry size_bytes =
   let budget = size_bytes * 8 in
   let used, fields =
     List.fold_left
@@ -10,9 +21,24 @@ let pack_fields (intent : Opendesc.Intent.t) size_bytes =
         else (used, acc))
       (0, []) intent.fields
   in
-  (List.rev fields, budget - used)
+  let taken name =
+    List.exists
+      (fun (f : Opendesc.Intent.field) -> f.if_semantic = name || f.if_name = name)
+      intent.fields
+  in
+  let used, bonus =
+    List.fold_left
+      (fun (used, acc) sem ->
+        if taken sem then (used, acc)
+        else
+          match Opendesc.Semantic.width registry sem with
+          | Some w when used + w <= budget -> (used + w, (sem, w) :: acc)
+          | _ -> (used, acc))
+      (used, []) bonus_semantics
+  in
+  (List.rev fields, List.rev bonus, budget - used)
 
-let synthesize_source (intent : Opendesc.Intent.t) _registry =
+let synthesize_source (intent : Opendesc.Intent.t) registry =
   let buf = Buffer.create 1024 in
   let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
   add "/* QDMA interface description synthesized from intent %s. */\n" intent.name;
@@ -20,17 +46,19 @@ let synthesize_source (intent : Opendesc.Intent.t) _registry =
   add "header qdma_tx_desc_t {\n";
   add "  @semantic(\"buf_addr\") bit<64> addr;\n";
   add "  bit<16> length;\n  bit<16> flags;\n}\n\n";
-  List.iteri
-    (fun i size ->
-      let fields, pad_bits = pack_fields intent size in
+  List.iter
+    (fun size ->
+      let fields, bonus, pad_bits = pack_fields intent registry size in
       add "header qdma_cmpt%d_t {\n" size;
       List.iter
         (fun (f : Opendesc.Intent.field) ->
           add "  @semantic(%S) bit<%d> %s;\n" f.if_semantic f.if_width f.if_name)
         fields;
+      List.iter
+        (fun (sem, width) -> add "  @semantic(%S) bit<%d> %s;\n" sem width sem)
+        bonus;
       if pad_bits > 0 then add "  bit<%d> pad;\n" pad_bits;
-      add "}\n\n";
-      ignore i)
+      add "}\n\n")
     sizes;
   add "struct qdma_meta_t {\n";
   List.iter (fun size -> add "  qdma_cmpt%d_t fmt%d;\n" size size) sizes;

@@ -91,61 +91,49 @@ let load_exn ~name ~kind ?deparser ?notes src =
 
 let cfg t = Cfg.build t.tenv t.deparser
 
-let lint ?registry t =
+let registry_view (registry : Semantic.t) : Opendesc_analysis.Registry_view.t =
+  {
+    known = Semantic.mem registry;
+    width = Semantic.width registry;
+    sw_cost = Semantic.cost registry;
+    hardware_only = (fun s -> List.mem s Semantic.hardware_only);
+  }
+
+let analyze ?registry ?intent t =
   let registry = match registry with Some r -> r | None -> Semantic.default () in
-  let warnings = ref [] in
-  let warn fmt = Printf.ksprintf (fun s -> warnings := s :: !warnings) fmt in
-  (* Unknown semantics anywhere in the description. *)
-  let all_sems =
-    List.concat_map
-      (fun (h : P4.Typecheck.header_def) ->
-        List.filter_map (fun (f : P4.Typecheck.field) -> f.f_semantic) h.h_fields)
-      (P4.Typecheck.headers t.tenv)
-    |> List.sort_uniq String.compare
+  let intent =
+    Option.map
+      (fun (i : Intent.t) ->
+        List.map (fun (f : Intent.field) -> (f.if_semantic, f.if_width)) i.fields)
+      intent
   in
-  List.iter
-    (fun s ->
-      if not (Semantic.mem registry s) then
-        warn "unknown semantic %S (typo? register it or fix the annotation)" s)
-    all_sems;
-  (* Duplicate semantics within one path. *)
-  List.iter
-    (fun (p : Path.t) ->
-      let sems =
-        List.filter_map (fun (f : Path.lfield) -> f.l_semantic) p.p_layout.fields
-      in
-      let rec dups seen = function
-        | [] -> ()
-        | s :: rest ->
-            if List.mem s seen then
-              warn "path #%d carries semantic %S twice (only the first is used)"
-                p.p_index s
-            else dups (s :: seen) rest
-      in
-      dups [] sems)
-    t.paths;
-  (* Dominated paths: same Prov, strictly larger. *)
-  List.iter
-    (fun (a : Path.t) ->
-      List.iter
-        (fun (b : Path.t) ->
-          if a.p_index < b.p_index && a.p_prov = b.p_prov then
-            if Path.size a <> Path.size b then
-              warn
-                "paths #%d and #%d provide the same semantics; the %d-byte one \
-                 can never be selected"
-                a.p_index b.p_index
-                (max (Path.size a) (Path.size b)))
-        t.paths)
-    t.paths;
-  (* TX formats must let the host point at a buffer. *)
-  List.iter
-    (fun (f : Descparser.t) ->
-      if Descparser.field_for f "buf_addr" = None then
-        warn "TX format #%d has no buf_addr field; the device cannot fetch packets"
-          f.d_index)
-    t.tx_formats;
-  List.rev !warnings
+  Opendesc_analysis.Engine.analyze
+    {
+      Opendesc_analysis.Engine.in_tenv = t.tenv;
+      in_deparser = Some t.deparser;
+      in_desc_parser = t.desc_parser;
+      in_registry = registry_view registry;
+      in_intent = intent;
+      in_line_offset = Prelude.line_offset;
+    }
+
+let analyze_source ?registry ?intent src =
+  let registry = match registry with Some r -> r | None -> Semantic.default () in
+  let intent =
+    Option.map
+      (fun (i : Intent.t) ->
+        List.map (fun (f : Intent.field) -> (f.if_semantic, f.if_width)) i.fields)
+      intent
+  in
+  Opendesc_analysis.Engine.analyze_source
+    ~registry:(registry_view registry)
+    ?intent ~prelude:Prelude.source src
+
+let lint ?registry t =
+  analyze ?registry t
+  |> List.filter (fun (d : Opendesc_analysis.Diagnostic.t) ->
+         d.d_severity <> Opendesc_analysis.Diagnostic.Info)
+  |> List.map Opendesc_analysis.Diagnostic.to_string
 
 let find_path t idx = List.find_opt (fun (p : Path.t) -> p.p_index = idx) t.paths
 

@@ -43,14 +43,27 @@ val load_exn :
 val cfg : t -> Cfg.t
 (** The deparser's control-flow graph (reporting, Figure 6). *)
 
+val registry_view : Semantic.t -> Opendesc_analysis.Registry_view.t
+(** The functional view of a registry the analysis engine consumes. *)
+
+val analyze :
+  ?registry:Semantic.t -> ?intent:Intent.t -> t -> Opendesc_analysis.Diagnostic.t list
+(** Run the full static-analysis engine (layout safety, path
+    feasibility, contract consistency, codegen verification) over a
+    loaded description. Spans refer to the vendor source, not the
+    prelude-prefixed program. Pass [?intent] to also cross-check an
+    application intent against the NIC (OD015). *)
+
+val analyze_source :
+  ?registry:Semantic.t -> ?intent:Intent.t -> string -> Opendesc_analysis.Diagnostic.t list
+(** Like {!analyze} but straight from vendor source: parse and type
+    errors become OD001 diagnostics instead of a load failure, so even
+    broken descriptions produce located findings. *)
+
 val lint : ?registry:Semantic.t -> t -> string list
-(** Description-quality warnings for vendors:
-    - semantics that no registry knows (likely typos — the costliest
-      mistake, since a misspelled semantic silently becomes "missing");
-    - a semantic appearing twice within one completion path;
-    - completion paths sharing identical Prov sets but different sizes
-      (the larger one can never be selected);
-    - TX formats with no [buf_addr] field. *)
+(** Rendered error- and warning-severity diagnostics from {!analyze}
+    (info-severity findings are omitted). Kept for callers that want
+    flat strings; new code should use {!analyze}. *)
 
 val find_path : t -> int -> Path.t option
 

@@ -4,6 +4,7 @@ type lfield = {
   l_semantic : string option;
   l_bit_off : int;
   l_bits : int;
+  l_span : P4.Loc.span;
 }
 
 type layout = { fields : lfield list; size_bytes : int }
@@ -99,6 +100,7 @@ let layout_of_emits emits =
                 l_semantic = f.f_semantic;
                 l_bit_off = base + f.f_bit_off;
                 l_bits = f.f_bits;
+                l_span = f.f_span;
               })
             h.h_fields
         in

@@ -19,6 +19,7 @@ type lfield = {
   l_semantic : string option;
   l_bit_off : int;  (** absolute offset from the start of the completion *)
   l_bits : int;
+  l_span : P4.Loc.span;  (** declaration site of the source field *)
 }
 
 type layout = { fields : lfield list; size_bytes : int }

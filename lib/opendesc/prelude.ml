@@ -19,13 +19,17 @@ extern packet_out {
 
 let check nic_source = P4.Typecheck.check_string (source ^ nic_source)
 
+(* Lines the prelude prepends: subtract from spans to recover positions in
+   the user's own source. *)
+let line_offset = List.length (String.split_on_char '\n' source) - 1
+
 let check_result nic_source =
   let full = source ^ nic_source in
   try Ok (P4.Typecheck.check_string full) with
   | P4.Typecheck.Type_error (msg, sp) ->
       Error
         (Printf.sprintf "type error at line %d: %s"
-           (sp.P4.Loc.left.line - (List.length (String.split_on_char '\n' source) - 1))
+           (sp.P4.Loc.left.line - line_offset)
            msg)
   | exn -> (
       match P4.Parser.error_to_string full exn with

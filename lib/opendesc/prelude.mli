@@ -8,6 +8,10 @@
 val source : string
 (** P4 source of the prelude. *)
 
+val line_offset : int
+(** Number of lines the prelude prepends to a NIC source; subtract from a
+    span's line to recover the position in the user's own file. *)
+
 val check : string -> P4.Typecheck.t
 (** [check nic_source] typechecks [prelude ^ nic_source].
     @raise P4.Typecheck.Type_error, [P4.Parser.Error], [P4.Lexer.Error]. *)

@@ -240,3 +240,29 @@ let semantic_of field =
   match find_annotation "semantic" field.fannots with
   | Some a -> annotation_string a
   | None -> None
+
+(** First integer argument of an annotation, if any: [@cmpt_slot(64)]. *)
+let annotation_int a =
+  match a.args with AInt v :: _ -> Some (Int64.to_int v) | _ -> None
+
+let span_known (s : Loc.span) = s.Loc.left.Loc.off >= 0
+
+(** Best-effort source span of an expression, built from the identifier
+    spans it contains (literals carry none). Returns {!Loc.dummy} when no
+    sub-expression carries a position. *)
+let rec expr_span (e : expr) : Loc.span =
+  let join a b =
+    match (span_known a, span_known b) with
+    | true, true -> Loc.merge a b
+    | true, false -> a
+    | false, _ -> b
+  in
+  match e with
+  | EInt _ | EBool _ | EString _ -> Loc.dummy
+  | EIdent i -> i.span
+  | EMember (b, i) -> join (expr_span b) i.span
+  | EIndex (a, b) | EBinop (_, a, b) -> join (expr_span a) (expr_span b)
+  | EUnop (_, e) | ECast (_, e) -> expr_span e
+  | ETernary (a, b, c) -> join (expr_span a) (join (expr_span b) (expr_span c))
+  | ECall (callee, _, args) ->
+      List.fold_left (fun acc a -> join acc (expr_span a)) (expr_span callee) args

@@ -6,6 +6,7 @@ type field = {
   f_bit_off : int;
   f_semantic : string option;
   f_annots : Ast.annotation list;
+  f_span : Loc.span;
 }
 
 type header_def = {
@@ -13,6 +14,7 @@ type header_def = {
   h_fields : field list;
   h_bits : int;
   h_annots : Ast.annotation list;
+  h_span : Loc.span;
 }
 
 type rtyp =
@@ -51,7 +53,7 @@ let err span msg = raise (Type_error (msg, span))
 
 let header_bytes h =
   if h.h_bits mod 8 <> 0 then
-    err Loc.dummy
+    err h.h_span
       (Printf.sprintf "header %s is %d bits, not a byte multiple" h.h_name h.h_bits)
   else h.h_bits / 8
 
@@ -70,6 +72,7 @@ type control_def = {
   ct_locals : Ast.decl list;
   ct_body : Ast.block;
   ct_annots : Ast.annotation list;
+  ct_span : Loc.span;
 }
 
 type parser_def = {
@@ -78,6 +81,7 @@ type parser_def = {
   pr_locals : Ast.decl list;
   pr_states : Ast.parser_state list;
   pr_annots : Ast.annotation list;
+  pr_span : Loc.span;
 }
 
 type extern_def = { e_name : string; e_methods : Ast.extern_method list }
@@ -189,6 +193,7 @@ let resolve_header t (name : Ast.ident) annots (fields : Ast.field list) =
             f_bit_off = off;
             f_semantic = Ast.semantic_of f;
             f_annots = f.fannots;
+            f_span = f.fname.span;
           }
         in
         (off + w, fd :: acc))
@@ -196,7 +201,7 @@ let resolve_header t (name : Ast.ident) annots (fields : Ast.field list) =
   in
   let h_fields = List.rev rev_fields in
   let h_bits = List.fold_left (fun acc f -> acc + f.f_bits) 0 h_fields in
-  { h_name = name.name; h_fields; h_bits; h_annots = annots }
+  { h_name = name.name; h_fields; h_bits; h_annots = annots; h_span = name.span }
 
 let resolve_struct t (name : Ast.ident) (fields : Ast.field list) =
   let s_fields =
@@ -274,7 +279,7 @@ let rec type_of_expr t (scope : scope) (e : Ast.expr) : rtyp =
       match type_of_expr t scope base with
       | RBit _ -> RBit 1
       | RTypeVar _ -> RTypeVar "?"
-      | ty -> err Loc.dummy (Printf.sprintf "cannot index %s" (rtyp_name ty)))
+      | ty -> err (Ast.expr_span base) (Printf.sprintf "cannot index %s" (rtyp_name ty)))
   | Ast.EUnop (Ast.LNot, _) -> RBool
   | Ast.EUnop (_, e) -> type_of_expr t scope e
   | Ast.EBinop ((Ast.Eq | Ast.Neq | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge | Ast.LAnd | Ast.LOr), a, b)
@@ -356,7 +361,7 @@ and check_stmt t scope (s : Ast.stmt) : scope =
       | RHeader a, RHeader b when a.h_name = b.h_name -> ()
       | RStruct a, RStruct b when a.s_name = b.s_name -> ()
       | _ ->
-          err Loc.dummy
+          err (Ast.expr_span l)
             (Printf.sprintf "cannot assign %s to %s" (rtyp_name rt) (rtyp_name lt)));
       scope
   | Ast.SCall e ->
@@ -365,7 +370,7 @@ and check_stmt t scope (s : Ast.stmt) : scope =
   | Ast.SIf (c, th, el) ->
       (match type_of_expr t scope c with
       | RBool | RBit _ | RTypeVar _ -> ()
-      | ty -> err Loc.dummy (Printf.sprintf "condition has type %s" (rtyp_name ty)));
+      | ty -> err (Ast.expr_span c) (Printf.sprintf "condition has type %s" (rtyp_name ty)));
       check_block t scope th;
       Option.iter (check_block t scope) el;
       scope
@@ -489,7 +494,7 @@ let check_decl t (d : Ast.decl) =
       let pr_params = resolve_params t params in
       let pd =
         { pr_name = name.name; pr_params; pr_locals = locals; pr_states = states;
-          pr_annots = annots }
+          pr_annots = annots; pr_span = name.span }
       in
       define t name.span name.name (EnParser pd);
       let scope = scope_of_locals t (scope_of_params t pr_params) locals in
@@ -499,7 +504,7 @@ let check_decl t (d : Ast.decl) =
       let ct_params = resolve_params t params in
       let cd =
         { ct_name = name.name; ct_params; ct_locals = locals; ct_body = apply;
-          ct_annots = annots }
+          ct_annots = annots; ct_span = name.span }
       in
       define t name.span name.name (EnControl cd);
       (* check local actions and the apply body *)

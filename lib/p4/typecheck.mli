@@ -17,6 +17,7 @@ type field = {
   f_bit_off : int;  (** offset of the MSB from the start of the header *)
   f_semantic : string option;  (** @semantic("...") tag *)
   f_annots : Ast.annotation list;
+  f_span : Loc.span;  (** declaration site (field name) *)
 }
 
 type header_def = {
@@ -24,6 +25,7 @@ type header_def = {
   h_fields : field list;
   h_bits : int;  (** total width; emitted headers must be a byte multiple *)
   h_annots : Ast.annotation list;
+  h_span : Loc.span;  (** declaration site (header name) *)
 }
 
 type rtyp =
@@ -64,6 +66,7 @@ type control_def = {
   ct_locals : Ast.decl list;
   ct_body : Ast.block;
   ct_annots : Ast.annotation list;
+  ct_span : Loc.span;  (** declaration site (control name) *)
 }
 
 type parser_def = {
@@ -72,6 +75,7 @@ type parser_def = {
   pr_locals : Ast.decl list;
   pr_states : Ast.parser_state list;
   pr_annots : Ast.annotation list;
+  pr_span : Loc.span;  (** declaration site (parser name) *)
 }
 
 type t

@@ -196,7 +196,8 @@ let resolve_semantic (m : Model.t) sem pkt =
   let env = Softnic.Feature.make_env () in
   let view = Packet.Pkt.parse pkt in
   let field : Opendesc.Path.lfield =
-    { l_name = "x"; l_header = "h"; l_semantic = Some sem; l_bit_off = 0; l_bits = 32 }
+    { l_name = "x"; l_header = "h"; l_semantic = Some sem; l_bit_off = 0; l_bits = 32;
+      l_span = P4.Loc.dummy }
   in
   m.resolve env pkt view field
 
@@ -217,7 +218,8 @@ let test_resolver_constants_for_status_fields () =
   let pkt = Packet.Builder.ipv4 ~flow Packet.Builder.Udp in
   let view = Packet.Pkt.parse pkt in
   let field name : Opendesc.Path.lfield =
-    { l_name = name; l_header = "h"; l_semantic = None; l_bit_off = 0; l_bits = 8 }
+    { l_name = name; l_header = "h"; l_semantic = None; l_bit_off = 0; l_bits = 8;
+      l_span = P4.Loc.dummy }
   in
   check ai64 "status bit set" 1L (m.resolve env pkt view (field "status"));
   check ai64 "unknown plain field is 0" 0L (m.resolve env pkt view (field "errors"))

@@ -679,6 +679,7 @@ let gen_layout =
             l_semantic = None;
             l_bit_off = off;
             l_bits = w;
+            l_span = P4.Loc.dummy;
           }
           :: acc ))
       (0, []) ws
