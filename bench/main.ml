@@ -841,6 +841,105 @@ let parallel_sweep () =
        wall_speedup wall_enforced (model_speedup >= 1.5))
 
 (* ================================================================== *)
+(* chaos_sweep: fault injection — detection rate and goodput vs intensity. *)
+
+let chaos_intensities = [ 0.0; 0.5; 1.0; 2.0 ]
+
+let chaos_sweep () =
+  Bench_util.section
+    "CHAOS_SWEEP. Fault-injected datapath: detection rate and goodput vs \
+     fault intensity";
+  let module F = Driver.Fault in
+  let model = Nic_models.Mlx5.model () in
+  let requested = [ "rss"; "pkt_len"; "vlan"; "csum_ok" ] in
+  let intent = Opendesc.Intent.make (List.map (fun s -> (s, 32)) requested) in
+  let compiled = Opendesc.Cache.run_exn ~alpha:0.05 ~intent model.spec in
+  let queues = 4 and pkts = 16384 in
+  let points =
+    List.map
+      (fun k ->
+        let mq =
+          Driver.Mq.create_exn ~queue_depth:1024
+            ~configs:(Array.make queues compiled.config)
+            (fun () -> Nic_models.Mlx5.model ())
+        in
+        let plan = F.scale k (F.default_plan 1337L) in
+        let r =
+          Driver.Parallel.run ~domains:2 ~batch:64 ~ring_capacity:4096 ~plan
+            ~mq
+            ~stack:(fun _ -> Driver.Hoststacks.opendesc_batched ~compiled)
+            ~pkts
+            ~workload:
+              (Packet.Workload.make ~seed:61L ~flows:64
+                 Packet.Workload.Min_size)
+            ()
+        in
+        let c = F.counters_sum (Array.to_list (Option.get r.faults)) in
+        (k, r, c))
+      chaos_intensities
+  in
+  Printf.printf "%9s %8s %9s %10s %9s %9s %8s %9s %8s\n" "intensity" "injected"
+    "violating" "quarantine" "delivered" "goodput%" "retries" "detect%" "drops";
+  List.iter
+    (fun (k, (r : Driver.Parallel.result), (c : F.counters)) ->
+      let detection =
+        if c.contract_violating = 0 then 1.0
+        else float_of_int c.detected /. float_of_int c.contract_violating
+      in
+      Printf.printf "%9.2f %8d %9d %10d %9d %9.2f %8d %9.1f %8d\n" k c.injected
+        c.contract_violating c.quarantined c.delivered
+        (100.0 *. float_of_int c.delivered /. float_of_int pkts)
+        c.retries (100.0 *. detection) r.drops)
+    points;
+  List.iter
+    (fun (k, (r : Driver.Parallel.result), (c : F.counters)) ->
+      acceptance
+        (Printf.sprintf "chaos_sweep counters reconcile (intensity %.2f)" k)
+        (F.reconciles c && r.stranded = 0);
+      acceptance
+        (Printf.sprintf "chaos_sweep 100%% detection (intensity %.2f)" k)
+        (c.detected = c.contract_violating);
+      (* The merged stats shards must agree exactly with the per-queue
+         fault counters — Stats.merge is the reconciliation point. *)
+      acceptance
+        (Printf.sprintf "chaos_sweep Stats.merge reconciles (intensity %.2f)" k)
+        (r.stats.Driver.Stats.faults_injected = c.injected
+        && r.stats.Driver.Stats.faults_detected = c.detected
+        && r.stats.Driver.Stats.descs_quarantined = c.quarantined
+        && r.stats.Driver.Stats.pkts = c.delivered))
+    points;
+  (match points with
+  | (_, r0, c0) :: _ ->
+      acceptance "chaos_sweep zero intensity is fault-free"
+        (c0.injected = 0 && c0.quarantined = 0 && r0.pkts = pkts)
+  | [] -> ());
+  let point_frags =
+    String.concat ",\n"
+      (List.map
+         (fun (k, (r : Driver.Parallel.result), (c : F.counters)) ->
+           let detection =
+             if c.contract_violating = 0 then 1.0
+             else float_of_int c.detected /. float_of_int c.contract_violating
+           in
+           Printf.sprintf
+             "      { \"intensity\": %.2f, \"injected\": %d, \
+              \"contract_violating\": %d, \"detected\": %d, \"quarantined\": \
+              %d, \"delivered\": %d, \"duplicates\": %d, \"retries\": %d, \
+              \"goodput_pct\": %.2f, \"detection_rate\": %.3f, \"drops\": %d \
+              }"
+             k c.injected c.contract_violating c.detected c.quarantined
+             c.delivered c.duplicates c.retries
+             (100.0 *. float_of_int c.delivered /. float_of_int pkts)
+             detection r.drops)
+         points)
+  in
+  record_json "chaos_sweep"
+    (Printf.sprintf
+       "{\n    \"nic\": %S,\n    \"queues\": %d,\n    \"pkts\": %d,\n    \
+        \"seed\": 1337,\n    \"points\": [\n%s\n    ]\n  }"
+       model.spec.nic_name queues pkts point_frags)
+
+(* ================================================================== *)
 
 let experiments =
   [
@@ -862,11 +961,13 @@ let experiments =
     ("batch_sweep", batch_sweep);
     ("compile_cache", compile_cache);
     ("parallel_sweep", parallel_sweep);
+    ("chaos_sweep", chaos_sweep);
   ]
 
 (* The CI smoke subset: fast, no bechamel, covers compiler + batched
-   datapath + cache + parallel runtime. *)
-let quick_set = [ "f1"; "batch_sweep"; "compile_cache"; "parallel_sweep" ]
+   datapath + cache + parallel runtime + fault injection. *)
+let quick_set =
+  [ "f1"; "batch_sweep"; "compile_cache"; "parallel_sweep"; "chaos_sweep" ]
 
 let () =
   let requested =

@@ -448,6 +448,320 @@ let parallel_cmd =
         (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
        $ domains_arg $ queues_arg $ pkts_arg $ batch_arg))
 
+(* --- chaos ---------------------------------------------------------- *)
+
+let chaos_cmd =
+  let module F = Driver.Fault in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Fault-plan seed: the whole run is replayable from this one integer.")
+  in
+  let queues_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "queues" ] ~docv:"N" ~doc:"Queue count of the multi-queue device.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains. The summary is identical for any value: faults \
+             are a per-queue function of the seed.")
+  in
+  let pkts_arg =
+    Arg.(value & opt int 4096 & info [ "pkts" ] ~docv:"N" ~doc:"Packets to inject.")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"N" ~doc:"Harvest burst capacity per queue.")
+  in
+  let tx_arg =
+    Arg.(
+      value & opt int 256
+      & info [ "tx" ] ~docv:"N"
+          ~doc:
+            "TX descriptors per queue for the doorbell-loss phase (0 skips \
+             it).")
+  in
+  let intensity_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "intensity" ] ~docv:"K"
+          ~doc:"Scale every default fault rate by K (clamped to 1).")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable summary (schema opendesc-chaos-1); only \
+             deterministic fields, so pinned-seed output is bit-reproducible.")
+  in
+  let rate name doc =
+    Arg.(value & opt (some float) None & info [ name ] ~docv:"P" ~doc)
+  in
+  let flip_arg = rate "flip" "Random bit-flip rate (overrides the default plan)."
+  and field_arg = rate "field-corrupt" "Targeted @semantic field corruption rate."
+  and torn_arg = rate "torn" "Torn/partial completion write rate."
+  and dup_arg = rate "dup" "Duplicated completion rate."
+  and reorder_arg = rate "reorder" "Reordered completion rate."
+  and stale_arg = rate "stale" "Spurious ring-wraparound (stale slot) rate."
+  and stuck_arg = rate "stuck" "Stuck-queue rate."
+  and dbl_arg = rate "doorbell-loss" "Lost TX doorbell rate (per posted burst)." in
+  let kicks_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "stuck-kicks" ] ~docv:"N"
+          ~doc:"Doorbell re-rings needed to unstick a stuck queue.")
+  in
+  let burst_len_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "burst-len" ] ~docv:"N"
+          ~doc:"Faults fire only on the first N injections of every window.")
+  in
+  let burst_period_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "burst-period" ] ~docv:"N" ~doc:"Burst schedule window length.")
+  in
+  let plan_term =
+    let mk seed intensity flip field torn dup reorder stale stuck dbl kicks blen
+        bper =
+      let p = F.scale intensity (F.default_plan (Int64.of_int seed)) in
+      let ov v d = Option.value v ~default:d in
+      {
+        p with
+        F.flip_rate = ov flip p.F.flip_rate;
+        semantic_rate = ov field p.F.semantic_rate;
+        torn_rate = ov torn p.F.torn_rate;
+        duplicate_rate = ov dup p.F.duplicate_rate;
+        reorder_rate = ov reorder p.F.reorder_rate;
+        stale_rate = ov stale p.F.stale_rate;
+        stuck_rate = ov stuck p.F.stuck_rate;
+        doorbell_loss_rate = ov dbl p.F.doorbell_loss_rate;
+        stuck_kicks = kicks;
+        burst_len = blen;
+        burst_period = bper;
+      }
+    in
+    Term.(
+      const mk $ seed_arg $ intensity_arg $ flip_arg $ field_arg $ torn_arg
+      $ dup_arg $ reorder_arg $ stale_arg $ stuck_arg $ dbl_arg $ kicks_arg
+      $ burst_len_arg $ burst_period_arg)
+  in
+  let digest_of_pkts bs =
+    List.fold_left
+      (fun crc b -> Softnic.Crc32.digest ~crc b ~pos:0 ~len:(Bytes.length b))
+      0xFFFFFFFFl bs
+  in
+  let run nic semantics intent_file alpha plan queues domains pkts batch tx json
+      =
+    let registry = Opendesc.Semantic.default () in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let models = Nic_models.Catalog.all ~intent () in
+        match Nic_models.Catalog.find nic models with
+        | None ->
+            fail
+              "chaos drives the simulated device, so NIC must be a built-in \
+               model; try 'opendesc_cc list'"
+        | Some model -> (
+            match Opendesc.Compile.run ~alpha ~registry ~intent model.spec with
+            | Error e -> fail "%s" e
+            | Ok compiled -> (
+                let mq =
+                  Driver.Mq.create ~queue_depth:1024
+                    ~configs:(Array.make queues compiled.config)
+                    (fun () ->
+                      Option.get
+                        (Nic_models.Catalog.find nic
+                           (Nic_models.Catalog.all ~intent ())))
+                in
+                match mq with
+                | Error e -> fail "%s" e
+                | Ok mq ->
+                    let r =
+                      Driver.Parallel.run ~domains ~batch ~collect:true ~plan
+                        ~mq
+                        ~stack:(fun _ ->
+                          Driver.Hoststacks.opendesc_batched ~compiled)
+                        ~pkts
+                        ~workload:
+                          (Packet.Workload.make ~seed:plan.F.seed
+                             Packet.Workload.Imix)
+                        ()
+                    in
+                    let per_queue_faults = Option.get r.faults in
+                    let totals =
+                      F.counters_sum (Array.to_list per_queue_faults)
+                    in
+                    let qdigests =
+                      Array.map digest_of_pkts (Option.get r.delivered)
+                    in
+                    let combined =
+                      Array.fold_left
+                        (fun crc d ->
+                          let b = Bytes.create 4 in
+                          Bytes.set_int32_le b 0 d;
+                          Softnic.Crc32.digest ~crc b ~pos:0 ~len:4)
+                        0xFFFFFFFFl qdigests
+                    in
+                    (* TX phase: sequential per queue, exercising lost
+                       doorbells and the bounded kick-retry recovery. *)
+                    let tx_counters =
+                      Array.init queues (fun q ->
+                          let dev = Driver.Mq.queue mq q in
+                          let fq = F.wrap ~qid:q plan dev in
+                          (match Driver.Device.tx_format dev with
+                          | None -> ()
+                          | Some fmt ->
+                              let addr =
+                                Opendesc.Descparser.field_for fmt "buf_addr"
+                              in
+                              let body =
+                                Packet.Builder.raw ~len:64 ~fill:'t'
+                              in
+                              let remaining = ref tx in
+                              while !remaining > 0 do
+                                let n = min batch !remaining in
+                                let descs =
+                                  List.init n (fun i ->
+                                      let d =
+                                        Bytes.make
+                                          (Opendesc.Descparser.size fmt)
+                                          '\x00'
+                                      in
+                                      (match addr with
+                                      | Some a ->
+                                          Opendesc.Accessor.writer
+                                            ~bit_off:a.l_bit_off ~bits:a.l_bits
+                                            d
+                                            (Int64.of_int (tx - !remaining + i))
+                                      | None -> ());
+                                      d)
+                                in
+                                let posted = F.tx_post_batch fq descs in
+                                ignore
+                                  (F.tx_drain fq ~fetch:(fun _ -> Some body));
+                                remaining := !remaining - max 1 posted
+                              done);
+                          F.counters fq)
+                    in
+                    let txt = F.counters_sum (Array.to_list tx_counters) in
+                    let ok =
+                      F.reconciles totals && r.stranded = 0
+                      && txt.F.tx_sent = txt.F.tx_posted
+                    in
+                    if json then begin
+                      let by_kind =
+                        String.concat ", "
+                          (List.map
+                             (fun k ->
+                               Printf.sprintf "\"%s\": %d" (F.kind_name k)
+                                 totals.F.by_kind.(F.kind_index k))
+                             F.kinds)
+                      in
+                      let pq =
+                        String.concat ",\n    "
+                          (List.init queues (fun q ->
+                               let c = per_queue_faults.(q) in
+                               Printf.sprintf
+                                 "{\"queue\": %d, \"delivered\": %d, \
+                                  \"quarantined\": %d, \"digest\": \
+                                  \"0x%08lx\"}"
+                                 q c.F.delivered c.F.quarantined qdigests.(q)))
+                      in
+                      Printf.printf
+                        "{\n\
+                        \  \"schema\": \"opendesc-chaos-1\",\n\
+                        \  \"nic\": \"%s\",\n\
+                        \  \"seed\": %Ld,\n\
+                        \  \"pkts\": %d,\n\
+                        \  \"queues\": %d,\n\
+                        \  \"plan\": {\"flip\": %g, \"field_corrupt\": %g, \
+                         \"torn\": %g, \"duplicate\": %g, \"reorder\": %g, \
+                         \"stale_wrap\": %g, \"stuck_queue\": %g, \
+                         \"doorbell_loss\": %g, \"stuck_kicks\": %d, \
+                         \"burst_len\": %d, \"burst_period\": %d},\n\
+                        \  \"rx\": {\"injected\": %d, \"by_kind\": {%s}, \
+                         \"contract_violating\": %d, \"detected\": %d, \
+                         \"quarantined\": %d, \"quarantine_drops\": %d, \
+                         \"delivered\": %d, \"accepted\": %d, \"duplicates\": \
+                         %d, \"retries\": %d, \"drops\": %d},\n\
+                        \  \"per_queue\": [\n\
+                        \    %s\n\
+                        \  ],\n\
+                        \  \"tx\": {\"posted\": %d, \"sent\": %d, \
+                         \"doorbells_lost\": %d, \"retries\": %d},\n\
+                        \  \"digest\": \"0x%08lx\",\n\
+                        \  \"reconciled\": %b\n\
+                         }\n"
+                        model.spec.nic_name plan.F.seed pkts queues
+                        plan.F.flip_rate plan.F.semantic_rate plan.F.torn_rate
+                        plan.F.duplicate_rate plan.F.reorder_rate
+                        plan.F.stale_rate plan.F.stuck_rate
+                        plan.F.doorbell_loss_rate plan.F.stuck_kicks
+                        plan.F.burst_len plan.F.burst_period totals.F.injected
+                        by_kind totals.F.contract_violating totals.F.detected
+                        totals.F.quarantined totals.F.quarantine_drops
+                        totals.F.delivered totals.F.rx_accepted
+                        totals.F.duplicates totals.F.retries r.drops pq
+                        txt.F.tx_posted txt.F.tx_sent txt.F.doorbells_lost
+                        txt.F.retries combined ok
+                    end
+                    else begin
+                      Format.printf "plan: %a@." F.pp_plan plan;
+                      Format.printf "%a@." Driver.Stats.pp_table
+                        (Array.to_list r.domain_stats @ [ r.stats ]);
+                      Printf.printf
+                        "faults: %d injected (%s)\n\
+                         detection: %d contract-violating, %d detected, %d \
+                         quarantined (%d ring drops)\n\
+                         delivered: %d (+%d duplicates, %d accepted)  \
+                         retries: %d  drops: %d\n\
+                         tx: %d posted, %d sent, %d doorbells lost, %d kicks\n\
+                         digest: 0x%08lx  reconciled: %b\n"
+                        totals.F.injected
+                        (String.concat ", "
+                           (List.filter_map
+                              (fun k ->
+                                let n = totals.F.by_kind.(F.kind_index k) in
+                                if n = 0 then None
+                                else Some (Printf.sprintf "%s %d" (F.kind_name k) n))
+                              F.kinds))
+                        totals.F.contract_violating totals.F.detected
+                        totals.F.quarantined totals.F.quarantine_drops
+                        totals.F.delivered totals.F.duplicates
+                        totals.F.rx_accepted totals.F.retries r.drops
+                        txt.F.tx_posted txt.F.tx_sent txt.F.doorbells_lost
+                        txt.F.retries combined ok
+                    end;
+                    if not ok then
+                      fail
+                        "chaos run failed to reconcile (stranded=%d, see \
+                         summary)"
+                        r.stranded
+                    else `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run the fault-injected datapath: a seeded deterministic plan of \
+          descriptor corruption, torn writes, duplicates, reorders, stale \
+          wraparounds, stuck queues and lost doorbells, with per-descriptor \
+          contract validation and quarantine on the recovery path.")
+    Term.(
+      ret
+        (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
+       $ plan_term $ queues_arg $ domains_arg $ pkts_arg $ batch_arg $ tx_arg
+       $ json_arg))
+
 (* --- lint ----------------------------------------------------------- *)
 
 let lint_cmd =
@@ -625,7 +939,7 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; parallel_cmd; lint_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

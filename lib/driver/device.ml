@@ -104,6 +104,10 @@ let active_path t = t.active_path
 let install_mark t flow mark = Hashtbl.replace t.env.flow_marks flow mark
 let model t = t.model
 let env t = t.env
+let cmpt_ring t = t.cmpt_ring
+let pkt_ring t = t.pkt_ring
+let tx_ring t = t.tx_ring
+let buf_size t = t.buf_size
 
 let rx_inject t pkt =
   let len = Packet.Pkt.len pkt in

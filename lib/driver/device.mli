@@ -59,6 +59,18 @@ val model : t -> Nic_models.Model.t
 val env : t -> Softnic.Feature.env
 (** The device's feature environment (its clock, flow marks, RSS key). *)
 
+val cmpt_ring : t -> Ring.t
+(** The completion ring. Exposed (with {!pkt_ring} and {!tx_ring}) for
+    the fault-injection layer, which mutates ring slots in place to model
+    torn or corrupted DMA writes; normal datapath code should stay on the
+    [rx_*]/[tx_*] API. *)
+
+val pkt_ring : t -> Ring.t
+
+val tx_ring : t -> Ring.t
+
+val buf_size : t -> int
+
 val install_mark : t -> Packet.Fivetuple.t -> int32 -> unit
 (** Install an rte_flow-MARK-style rule: packets of this flow get the
     mark in their [mark]-semantic completion field (0 otherwise). *)

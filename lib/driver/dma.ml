@@ -12,6 +12,8 @@ let dev_read t ~off ~len =
   t.read <- t.read + len;
   Bytes.sub t.mem off len
 
+let corrupt t ~off src ~pos ~len = Bytes.blit src pos t.mem off len
+
 let dev_read_into t ~off ~buf ~pos ~len =
   Bytes.blit t.mem off buf pos len;
   t.read <- t.read + len

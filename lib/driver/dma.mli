@@ -21,6 +21,12 @@ val dev_write : t -> off:int -> bytes -> pos:int -> len:int -> unit
 val dev_read : t -> off:int -> len:int -> bytes
 (** Device reads from host memory (counted). *)
 
+val corrupt : t -> off:int -> bytes -> pos:int -> len:int -> unit
+(** Overwrite region bytes {e without} counting the transfer: the
+    fault-injection primitive. A corrupted completion models the very
+    DMA write that was already counted going wrong in flight, so it must
+    not inflate the footprint a clean run would report. *)
+
 val dev_read_into : t -> off:int -> buf:bytes -> pos:int -> len:int -> unit
 (** Like {!dev_read}, but blits into the caller's reusable buffer instead
     of allocating. The hot-loop variant: device-side descriptor fetches

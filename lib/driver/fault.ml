@@ -1,0 +1,488 @@
+(* Deterministic fault injection.
+
+   Every fault decision and every fault mechanic happens at injection
+   time, on the injected queue's own rings, driven by a per-queue
+   SplitMix64 stream: queue q's fault sequence is a pure function of
+   (plan.seed, q, injection order on q). Harvest timing — burst sizes,
+   polling cadence, domain assignment — can therefore not change what
+   faults occur, which is what makes chaos runs bit-reproducible across
+   runs and domain counts. The injector also classifies each fault
+   against the same contract checker the recovery path uses, giving an
+   exact ground truth for the detection counters to reconcile against. *)
+
+type kind =
+  | Flip
+  | Semantic
+  | Torn
+  | Duplicate
+  | Reorder
+  | Stale
+  | Stuck
+  | Doorbell_loss
+
+let kinds = [ Flip; Semantic; Torn; Duplicate; Reorder; Stale; Stuck; Doorbell_loss ]
+let nkinds = List.length kinds
+
+let kind_name = function
+  | Flip -> "bitflip"
+  | Semantic -> "field_corrupt"
+  | Torn -> "torn_write"
+  | Duplicate -> "duplicate"
+  | Reorder -> "reorder"
+  | Stale -> "stale_wrap"
+  | Stuck -> "stuck_queue"
+  | Doorbell_loss -> "doorbell_loss"
+
+let kind_index = function
+  | Flip -> 0
+  | Semantic -> 1
+  | Torn -> 2
+  | Duplicate -> 3
+  | Reorder -> 4
+  | Stale -> 5
+  | Stuck -> 6
+  | Doorbell_loss -> 7
+
+type plan = {
+  seed : int64;
+  flip_rate : float;
+  semantic_rate : float;
+  torn_rate : float;
+  duplicate_rate : float;
+  reorder_rate : float;
+  stale_rate : float;
+  stuck_rate : float;
+  doorbell_loss_rate : float;
+  stuck_kicks : int;
+  burst_len : int;
+  burst_period : int;
+}
+
+let zero_plan seed =
+  {
+    seed;
+    flip_rate = 0.0;
+    semantic_rate = 0.0;
+    torn_rate = 0.0;
+    duplicate_rate = 0.0;
+    reorder_rate = 0.0;
+    stale_rate = 0.0;
+    stuck_rate = 0.0;
+    doorbell_loss_rate = 0.0;
+    stuck_kicks = 2;
+    burst_len = 0;
+    burst_period = 0;
+  }
+
+let default_plan seed =
+  {
+    (zero_plan seed) with
+    flip_rate = 0.02;
+    semantic_rate = 0.02;
+    torn_rate = 0.01;
+    duplicate_rate = 0.01;
+    reorder_rate = 0.01;
+    stale_rate = 0.01;
+    stuck_rate = 0.005;
+    doorbell_loss_rate = 0.1;
+  }
+
+let scale k p =
+  let s r = min 1.0 (r *. k) in
+  {
+    p with
+    flip_rate = s p.flip_rate;
+    semantic_rate = s p.semantic_rate;
+    torn_rate = s p.torn_rate;
+    duplicate_rate = s p.duplicate_rate;
+    reorder_rate = s p.reorder_rate;
+    stale_rate = s p.stale_rate;
+    stuck_rate = s p.stuck_rate;
+    doorbell_loss_rate = s p.doorbell_loss_rate;
+  }
+
+let pp_plan ppf p =
+  Format.fprintf ppf
+    "@[<h>seed=%Ld flip=%g field=%g torn=%g dup=%g reorder=%g stale=%g \
+     stuck=%g(kicks=%d) doorbell=%g%s@]"
+    p.seed p.flip_rate p.semantic_rate p.torn_rate p.duplicate_rate
+    p.reorder_rate p.stale_rate p.stuck_rate p.stuck_kicks
+    p.doorbell_loss_rate
+    (if p.burst_period > 0 then
+       Printf.sprintf " burst=%d/%d" p.burst_len p.burst_period
+     else "")
+
+type counters = {
+  mutable injected : int;
+  by_kind : int array;
+  mutable contract_violating : int;
+  mutable rx_accepted : int;
+  mutable duplicates : int;
+  mutable detected : int;
+  mutable quarantined : int;
+  mutable quarantine_drops : int;
+  mutable delivered : int;
+  mutable retries : int;
+  mutable doorbells_lost : int;
+  mutable tx_posted : int;
+  mutable tx_sent : int;
+}
+
+let counters_zero () =
+  {
+    injected = 0;
+    by_kind = Array.make nkinds 0;
+    contract_violating = 0;
+    rx_accepted = 0;
+    duplicates = 0;
+    detected = 0;
+    quarantined = 0;
+    quarantine_drops = 0;
+    delivered = 0;
+    retries = 0;
+    doorbells_lost = 0;
+    tx_posted = 0;
+    tx_sent = 0;
+  }
+
+let counters_sum cs =
+  let acc = counters_zero () in
+  List.iter
+    (fun c ->
+      acc.injected <- acc.injected + c.injected;
+      Array.iteri (fun i n -> acc.by_kind.(i) <- acc.by_kind.(i) + n) c.by_kind;
+      acc.contract_violating <- acc.contract_violating + c.contract_violating;
+      acc.rx_accepted <- acc.rx_accepted + c.rx_accepted;
+      acc.duplicates <- acc.duplicates + c.duplicates;
+      acc.detected <- acc.detected + c.detected;
+      acc.quarantined <- acc.quarantined + c.quarantined;
+      acc.quarantine_drops <- acc.quarantine_drops + c.quarantine_drops;
+      acc.delivered <- acc.delivered + c.delivered;
+      acc.retries <- acc.retries + c.retries;
+      acc.doorbells_lost <- acc.doorbells_lost + c.doorbells_lost;
+      acc.tx_posted <- acc.tx_posted + c.tx_posted;
+      acc.tx_sent <- acc.tx_sent + c.tx_sent)
+    cs;
+  acc
+
+let reconciles c =
+  c.detected = c.quarantined
+  && c.detected = c.contract_violating
+  && c.delivered + c.quarantined = c.rx_accepted + c.duplicates
+
+type t = {
+  dev : Device.t;
+  plan : plan;
+  rng : Packet.Rng.t;
+  checker : Validate.checker;
+  target_fields : Opendesc.Path.lfield array;
+  quarantine : Ring.t;
+  c : counters;
+  mutable inject_seq : int;
+  mutable stashed : Packet.Pkt.t option;
+  mutable stuck_remaining : int;
+  mutable db_armed : bool;
+}
+
+(* Golden-ratio increment, so queue streams are decorrelated the same
+   way SplitMix64 decorrelates consecutive states. *)
+let mix_seed seed qid =
+  Int64.add seed (Int64.mul (Int64.of_int (qid + 1)) 0x9E3779B97F4A7C15L)
+
+let wrap ?(qid = 0) ?(quarantine_depth = 1024) plan dev =
+  let checker = Validate.checker_of_device dev in
+  {
+    dev;
+    plan;
+    rng = Packet.Rng.create (mix_seed plan.seed qid);
+    checker;
+    target_fields = Array.of_list (Validate.checker_fields checker);
+    quarantine =
+      Ring.create ~slots:quarantine_depth
+        ~slot_size:(Ring.slot_size (Device.cmpt_ring dev));
+    c = counters_zero ();
+    inject_seq = 0;
+    stashed = None;
+    stuck_remaining = 0;
+    db_armed = true;
+  }
+
+let device t = t.dev
+let plan t = t.plan
+let counters t = t.c
+
+let layout_size t =
+  (Device.active_path t.dev).Opendesc.Path.p_layout.Opendesc.Path.size_bytes
+
+let count t k =
+  t.c.injected <- t.c.injected + 1;
+  t.c.by_kind.(kind_index k) <- t.c.by_kind.(kind_index k) + 1
+
+(* The completion slot the device just wrote. *)
+let last_cmpt_region t =
+  let ring = Device.cmpt_ring t.dev in
+  (Ring.dma ring, Ring.slot_offset ring (Ring.prod_index ring - 1), layout_size t)
+
+(* Ground truth: does the (possibly mutated) completion still honour the
+   contract for its packet? Uses the same checker as the recovery path,
+   so injection-time classification and harvest-time detection agree by
+   construction. *)
+let classify_last t pkt =
+  let dma, off, size = last_cmpt_region t in
+  let cmpt = Bytes.sub (Dma.mem dma) off size in
+  match Validate.check_desc t.checker ~pkt ~cmpt with
+  | Some _ -> t.c.contract_violating <- t.c.contract_violating + 1
+  | None -> ()
+
+(* Mutate the just-written completion slot in place (uncounted: the
+   counted DMA write is the one that went wrong). *)
+let mutate_last t f =
+  let dma, off, size = last_cmpt_region t in
+  let buf = Bytes.sub (Dma.mem dma) off size in
+  f buf;
+  Dma.corrupt dma ~off buf ~pos:0 ~len:size
+
+let apply_flip t buf =
+  let nbits = 1 + Packet.Rng.int t.rng 3 in
+  for _ = 1 to nbits do
+    let bit = Packet.Rng.int t.rng (Bytes.length buf * 8) in
+    let b = Char.code (Bytes.get buf (bit / 8)) in
+    Bytes.set buf (bit / 8) (Char.chr (b lxor (1 lsl (bit mod 8))))
+  done
+
+let apply_semantic t buf =
+  if Array.length t.target_fields = 0 then apply_flip t buf
+  else begin
+    let f = Packet.Rng.choice t.rng t.target_fields in
+    let bits = f.Opendesc.Path.l_bits in
+    let mbits = min bits 30 in
+    let mask = Int64.of_int (1 + Packet.Rng.int t.rng ((1 lsl mbits) - 1)) in
+    let old =
+      Opendesc.Accessor.reader ~bit_off:f.Opendesc.Path.l_bit_off ~bits buf
+    in
+    Opendesc.Accessor.writer ~bit_off:f.Opendesc.Path.l_bit_off ~bits buf
+      (Int64.logxor old mask)
+  end
+
+let apply_torn t buf =
+  let size = Bytes.length buf in
+  if size > 1 then begin
+    let keep = 1 + Packet.Rng.int t.rng (size - 1) in
+    let garbage = Packet.Rng.bytes t.rng (size - keep) in
+    Bytes.blit garbage 0 buf keep (size - keep)
+  end
+
+let inject_plain t pkt =
+  let ok = Device.rx_inject t.dev pkt in
+  if ok then t.c.rx_accepted <- t.c.rx_accepted + 1;
+  ok
+
+(* Re-produce the last (pkt, cmpt) slot pair verbatim. Raw slot copies —
+   not a second rx_inject — so stateful semantics (timestamps, flow
+   counters) are not recomputed and the duplicate stays byte-identical. *)
+let duplicate_last t =
+  let copy ring =
+    let sz = Ring.slot_size ring in
+    let last =
+      Bytes.sub (Dma.mem (Ring.dma ring))
+        (Ring.slot_offset ring (Ring.prod_index ring - 1))
+        sz
+    in
+    Ring.produce_dev ring last
+  in
+  let pkt_ring = Device.pkt_ring t.dev and cmpt_ring = Device.cmpt_ring t.dev in
+  if Ring.space pkt_ring > 0 && Ring.space cmpt_ring > 0 then begin
+    let ok1 = copy pkt_ring and ok2 = copy cmpt_ring in
+    assert (ok1 && ok2);
+    t.c.duplicates <- t.c.duplicates + 1;
+    true
+  end
+  else false
+
+let roll t =
+  let p = t.plan in
+  let eligible =
+    p.burst_period <= 0 || t.inject_seq mod p.burst_period < p.burst_len
+  in
+  if not eligible then None
+  else begin
+    let u = Packet.Rng.float t.rng in
+    let pick = ref None and acc = ref 0.0 in
+    List.iter
+      (fun (k, rate) ->
+        if !pick = None && rate > 0.0 then begin
+          acc := !acc +. rate;
+          if u < !acc then pick := Some k
+        end)
+      [
+        (Flip, p.flip_rate);
+        (Semantic, p.semantic_rate);
+        (Torn, p.torn_rate);
+        (Duplicate, p.duplicate_rate);
+        (Reorder, p.reorder_rate);
+        (Stale, p.stale_rate);
+        (Stuck, p.stuck_rate);
+      ];
+    !pick
+  end
+
+let inject_one t pkt =
+  match roll t with
+  | None -> inject_plain t pkt
+  | Some (Flip | Semantic | Torn as k) ->
+      let ok = inject_plain t pkt in
+      if ok then begin
+        count t k;
+        mutate_last t
+          (match k with
+          | Flip -> apply_flip t
+          | Semantic -> apply_semantic t
+          | _ -> apply_torn t);
+        classify_last t pkt
+      end;
+      ok
+  | Some Stale ->
+      (* Capture what the next completion slot holds *before* the device
+         overwrites it, then put it back: the host observes the previous
+         lap's record as if the producer index wrapped spuriously. *)
+      let ring = Device.cmpt_ring t.dev in
+      let off = Ring.slot_offset ring (Ring.prod_index ring) in
+      let size = layout_size t in
+      let stale = Bytes.sub (Dma.mem (Ring.dma ring)) off size in
+      let ok = inject_plain t pkt in
+      if ok then begin
+        count t Stale;
+        Dma.corrupt (Ring.dma ring) ~off stale ~pos:0 ~len:size;
+        classify_last t pkt
+      end;
+      ok
+  | Some Duplicate ->
+      let ok = inject_plain t pkt in
+      if ok && duplicate_last t then count t Duplicate;
+      ok
+  | Some Reorder ->
+      (* Defer this packet past its successor (emitted by the next
+         rx_inject, or by flush at end of stream). *)
+      t.stashed <- Some pkt;
+      count t Reorder;
+      true
+  | Some Stuck ->
+      let ok = inject_plain t pkt in
+      if ok then begin
+        count t Stuck;
+        t.stuck_remaining <- t.stuck_remaining + max 1 t.plan.stuck_kicks
+      end;
+      ok
+  | Some Doorbell_loss -> assert false (* TX-only; never rolled here *)
+
+let rx_inject t pkt =
+  t.inject_seq <- t.inject_seq + 1;
+  match t.stashed with
+  | None -> inject_one t pkt
+  | Some prev ->
+      (* Complete the swap: successor first, then the deferred packet.
+         Neither is re-rolled, so one Reorder affects exactly two
+         completions. *)
+      t.stashed <- None;
+      let ok = inject_plain t pkt in
+      ignore (inject_plain t prev);
+      ok
+
+let flush t =
+  match t.stashed with
+  | None -> ()
+  | Some pkt ->
+      t.stashed <- None;
+      ignore (inject_plain t pkt)
+
+let rx_available t = Device.rx_available t.dev
+
+let default_max_kicks = 8
+
+let harvest ?(max_kicks = default_max_kicks) t (b : Device.burst) =
+  (* A stuck queue holds completions without presenting them; each
+     doorbell re-ring (a counted retry) works one charge off. *)
+  let kicks = ref 0 in
+  while t.stuck_remaining > 0 && !kicks < max_kicks && rx_available t > 0 do
+    t.stuck_remaining <- t.stuck_remaining - 1;
+    t.c.retries <- t.c.retries + 1;
+    incr kicks
+  done;
+  if t.stuck_remaining > 0 then begin
+    b.Device.bs_count <- 0;
+    0
+  end
+  else begin
+    let n = Device.rx_consume_batch t.dev b in
+    let kept = ref 0 in
+    for i = 0 to n - 1 do
+      let pkt = Packet.Pkt.sub b.Device.bs_pkts.(i) ~len:b.Device.bs_lens.(i) in
+      let cmpt = Bytes.sub b.Device.bs_cmpts.(i) 0 b.Device.bs_cmpt_lens.(i) in
+      match Validate.check_desc t.checker ~pkt ~cmpt with
+      | Some _ ->
+          t.c.detected <- t.c.detected + 1;
+          t.c.quarantined <- t.c.quarantined + 1;
+          if not (Ring.produce_host t.quarantine cmpt) then
+            t.c.quarantine_drops <- t.c.quarantine_drops + 1
+      | None ->
+          t.c.delivered <- t.c.delivered + 1;
+          if !kept < i then begin
+            (* Compact survivors to the front by swapping buffer refs —
+               the burst's buffers are interchangeable scratch space. *)
+            let tp = b.Device.bs_pkts.(!kept) in
+            b.Device.bs_pkts.(!kept) <- b.Device.bs_pkts.(i);
+            b.Device.bs_pkts.(i) <- tp;
+            let tc = b.Device.bs_cmpts.(!kept) in
+            b.Device.bs_cmpts.(!kept) <- b.Device.bs_cmpts.(i);
+            b.Device.bs_cmpts.(i) <- tc;
+            b.Device.bs_lens.(!kept) <- b.Device.bs_lens.(i);
+            b.Device.bs_cmpt_lens.(!kept) <- b.Device.bs_cmpt_lens.(i)
+          end;
+          incr kept
+    done;
+    b.Device.bs_count <- !kept;
+    !kept
+  end
+
+let quarantined t = Ring.available t.quarantine
+
+let quarantine_consume t =
+  Option.map
+    (fun b -> Bytes.sub b 0 (layout_size t))
+    (Ring.consume_host t.quarantine)
+
+let tx_post_batch t descs =
+  let n = Device.tx_post_batch t.dev descs in
+  t.c.tx_posted <- t.c.tx_posted + n;
+  if n > 0 then
+    if Packet.Rng.float t.rng < t.plan.doorbell_loss_rate then begin
+      count t Doorbell_loss;
+      t.c.doorbells_lost <- t.c.doorbells_lost + 1;
+      t.db_armed <- false
+    end
+    else t.db_armed <- true;
+  n
+
+let tx_process t ~fetch =
+  if not t.db_armed then 0
+  else begin
+    let n = Device.tx_process t.dev ~fetch in
+    t.c.tx_sent <- t.c.tx_sent + n;
+    n
+  end
+
+let tx_kick t =
+  if not t.db_armed then begin
+    t.db_armed <- true;
+    t.c.retries <- t.c.retries + 1
+  end
+
+let tx_drain ?(max_kicks = default_max_kicks) t ~fetch =
+  let sent = ref (tx_process t ~fetch) in
+  let kicks = ref 0 in
+  while Ring.available (Device.tx_ring t.dev) > 0 && !kicks < max_kicks do
+    tx_kick t;
+    incr kicks;
+    sent := !sent + tx_process t ~fetch
+  done;
+  !sent

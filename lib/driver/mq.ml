@@ -56,3 +56,45 @@ let drain_batched t bursts ~f =
       end)
     t.devices;
   !total
+
+let wrap_chaos ?quarantine_depth ~plan t =
+  Array.mapi (fun q d -> Fault.wrap ~qid:q ?quarantine_depth plan d) t.devices
+
+let check_arity ~who t (arr : 'a array) ~what =
+  if Array.length arr <> Array.length t.devices then
+    invalid_arg
+      (Printf.sprintf "%s: %d %s for %d queues" who (Array.length arr) what
+         (Array.length t.devices))
+
+let rx_inject_chaos ?view t fqs pkt =
+  check_arity ~who:"Mq.rx_inject_chaos" t fqs ~what:"fault queues";
+  Fault.rx_inject fqs.(steer ?view t pkt) pkt
+
+let drain_chaos t fqs bursts ~f =
+  check_arity ~who:"Mq.drain_chaos" t fqs ~what:"fault queues";
+  check_arity ~who:"Mq.drain_chaos" t bursts ~what:"bursts";
+  let total = ref 0 in
+  Array.iteri
+    (fun i fq ->
+      let n = Fault.harvest fq bursts.(i) in
+      if n > 0 then begin
+        total := !total + n;
+        f i bursts.(i)
+      end)
+    fqs;
+  !total
+
+let drain_chaos_all t fqs bursts ~f =
+  Array.iter Fault.flush fqs;
+  let total = ref 0 in
+  let pending () = Array.exists (fun fq -> Fault.rx_available fq > 0) fqs in
+  let progress = ref true in
+  while !progress do
+    let n = drain_chaos t fqs bursts ~f in
+    total := !total + n;
+    (* A sweep can legitimately deliver nothing while work remains: a
+       stuck queue burns bounded kicks, a fully-quarantined burst keeps
+       [n] at 0 — keep sweeping until the rings are dry. *)
+    progress := n > 0 || pending ()
+  done;
+  !total

@@ -55,3 +55,34 @@ val drain_batched : t -> Device.burst array -> f:(int -> Device.burst -> unit) -
 
     @raise Invalid_argument when the burst array's length does not match
     the queue count — loud in release builds too, unlike an [assert]. *)
+
+(** {1 Chaos datapath}
+
+    The fault-injected twin of the batched datapath: wrap every queue in
+    a {!Fault.t} (same plan, per-queue seeds), inject through the fault
+    layer and drain through its recovery path. With {!Fault.zero_plan}
+    this is byte-identical to {!rx_inject} + {!drain_batched}. *)
+
+val wrap_chaos : ?quarantine_depth:int -> plan:Fault.plan -> t -> Fault.t array
+(** One fault wrapper per queue, seeded with the queue id (see
+    {!Fault.wrap}). *)
+
+val rx_inject_chaos :
+  ?view:Packet.Pkt.view -> t -> Fault.t array -> Packet.Pkt.t -> bool
+(** Steer (exactly as {!rx_inject}) and inject through the queue's fault
+    wrapper.
+    @raise Invalid_argument on a wrapper-array/queue-count mismatch. *)
+
+val drain_chaos :
+  t -> Fault.t array -> Device.burst array -> f:(int -> Device.burst -> unit) -> int
+(** One polling sweep through {!Fault.harvest}: each burst holds only
+    {e validated} completions (violators are quarantined). Returns the
+    total delivered this sweep.
+    @raise Invalid_argument on array/queue-count mismatches. *)
+
+val drain_chaos_all :
+  t -> Fault.t array -> Device.burst array -> f:(int -> Device.burst -> unit) -> int
+(** End-of-stream drain: flush deferred (reordered) completions, then
+    sweep until every queue ring is dry — retrying stuck queues (bounded
+    kicks per sweep) and discounting fully-quarantined bursts. Returns
+    the total delivered. *)

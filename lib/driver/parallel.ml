@@ -74,6 +74,7 @@ type result = {
   drops : int;
   sink : int64;
   delivered : bytes list array option;
+  faults : Fault.counters array option;
 }
 
 (* What one worker domain reports back through Domain.join. *)
@@ -86,7 +87,7 @@ let backoff tries =
   if tries < 256 then Domain.cpu_relax () else Unix.sleepf 50e-6
 
 let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
-    ~delivered () =
+    ~delivered ~faults () =
   let env = Softnic.Feature.make_env () in
   let ledger = Cost.create () in
   let bursts = Array.map (fun d -> Device.burst_create ~capacity:batch d) devices in
@@ -95,13 +96,24 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
   let nbursts = ref 0 in
   let consumed = ref 0 in
   let sink = ref 0L in
+  let inject i pkt =
+    match faults with
+    | None -> Device.rx_inject devices.(i) pkt
+    | Some fqs -> Fault.rx_inject fqs.(i) pkt
+  in
+  let take i b =
+    match faults with
+    | None -> Device.rx_consume_batch devices.(i) b
+    | Some fqs -> Fault.harvest fqs.(i) b
+  in
   (* One harvest sweep over the owned queues; returns packets taken. *)
   let sweep () =
     let total = ref 0 in
     Array.iteri
       (fun i d ->
+        ignore d;
         let b = bursts.(i) in
-        let n = Device.rx_consume_batch d b in
+        let n = take i b in
         if n > 0 then begin
           incr nbursts;
           Hashtbl.replace hist n
@@ -122,7 +134,18 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
       devices;
     !total
   in
-  let harvest_all () = while sweep () > 0 do () done in
+  let harvest_all () =
+    while sweep () > 0 do () done;
+    (* Under fault injection a sweep can deliver nothing while the rings
+       still hold work (stuck queues burn bounded kicks per call;
+       fully-quarantined bursts count 0) — keep sweeping until dry. *)
+    match faults with
+    | None -> ()
+    | Some fqs ->
+        while Array.exists (fun fq -> Fault.rx_available fq > 0) fqs do
+          ignore (sweep ())
+        done
+  in
   (* Harvest when a full batch per owned queue has accumulated (keeps
      bursts near capacity, so the amortised per-burst charges match the
      sequential batched path), when the injector goes quiet, or at
@@ -131,7 +154,7 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
   let rec loop pending idle =
     match Spsc.try_pop ring with
     | Some (q, pkt) ->
-        ignore (Device.rx_inject devices.(local.(q)) pkt);
+        ignore (inject local.(q) pkt);
         let pending = pending + 1 in
         if pending >= threshold then begin
           harvest_all ();
@@ -139,7 +162,15 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
         end
         else loop pending 0
     | None ->
-        if Atomic.get stop && Spsc.is_empty ring then harvest_all ()
+        if Atomic.get stop && Spsc.is_empty ring then begin
+          (* End of stream: a deferred (reordered) completion has no
+             successor left to swap with — emit it before the final
+             drain. *)
+          (match faults with
+          | Some fqs -> Array.iter Fault.flush fqs
+          | None -> ());
+          harvest_all ()
+        end
         else begin
           let pending = if idle = 32 && pending > 0 then (harvest_all (); 0) else pending in
           backoff idle;
@@ -156,10 +187,20 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
     |> Stats.with_bursts ~bursts:!nbursts
          ~burst_hist:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [])
   in
+  let stats =
+    match faults with
+    | None -> stats
+    | Some fqs ->
+        let c =
+          Fault.counters_sum (Array.to_list (Array.map Fault.counters fqs))
+        in
+        Stats.with_faults ~injected:c.Fault.injected ~detected:c.Fault.detected
+          ~quarantined:c.Fault.quarantined ~retries:c.Fault.retries stats
+  in
   { rp_pkts = !consumed; rp_cycles = Cost.total ledger; rp_stats = stats; rp_sink = !sink }
 
 let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
-    ~mq ~stack ~pkts ~workload () =
+    ?plan ~mq ~stack ~pkts ~workload () =
   if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
   if batch < 1 then invalid_arg "Parallel.run: batch must be >= 1";
   let nq = Mq.queues mq in
@@ -167,6 +208,15 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
   let owner q = q mod workers in
   let devices = Array.init nq (Mq.queue mq) in
   Array.iter Device.reset_counters devices;
+  (* One fault wrapper per queue, created up front and handed to the
+     owning worker: faults are a per-queue function of (seed, qid,
+     injection order), so the same plan replays identically however the
+     queues are grouped onto domains. *)
+  let fqs =
+    Option.map
+      (fun plan -> Array.init nq (fun q -> Fault.wrap ~qid:q plan devices.(q)))
+      plan
+  in
   let per_queue = Array.make nq 0 in
   let delivered = if collect then Some (Array.make nq []) else None in
   let rings = Array.init workers (fun _ -> Spsc.create ring_capacity) in
@@ -181,9 +231,12 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
         let wdevices = Array.map (fun q -> devices.(q)) queue_ids in
         let local = Array.make nq (-1) in
         Array.iteri (fun i q -> local.(q) <- i) queue_ids;
+        let wfaults =
+          Option.map (fun fqs -> Array.map (fun q -> fqs.(q)) queue_ids) fqs
+        in
         Domain.spawn
           (worker ~w ~queue_ids ~devices:wdevices ~local ~ring:rings.(w) ~stop
-             ~batch ~stack ~per_queue ~delivered))
+             ~batch ~stack ~per_queue ~delivered ~faults:wfaults))
   in
   (* The steering/injection domain: parse once, steer via the flow cache
      (identical queue choice to Mq.steer — the Toeplitz hash is a pure
@@ -226,4 +279,5 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
     drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices;
     sink = Array.fold_left (fun a r -> Int64.add a r.rp_sink) 0L reports;
     delivered = Option.map (Array.map List.rev) delivered;
+    faults = Option.map (Array.map Fault.counters) fqs;
   }

@@ -47,6 +47,10 @@ type result = {
       (** with [~collect:true]: per-queue packet bytes in delivery
           order, for differential comparison against the sequential
           path *)
+  faults : Fault.counters array option;
+      (** with [?plan]: the per-queue fault counters after shutdown.
+          Deterministic for a given plan — identical across runs and
+          domain counts. *)
 }
 
 val run :
@@ -54,6 +58,7 @@ val run :
   ?batch:int ->
   ?ring_capacity:int ->
   ?collect:bool ->
+  ?plan:Fault.plan ->
   mq:Mq.t ->
   stack:(int -> Stack.burst_t) ->
   pkts:int ->
@@ -71,7 +76,16 @@ val run :
     dry — so [stranded = 0] and [pkts] equals the injected count unless
     a device ring overflowed ([drops]).
 
+    With [?plan], every queue is wrapped in a {!Fault.t} (seeded by
+    queue id): workers inject through {!Fault.rx_inject}, harvest
+    through the {!Fault.harvest} recovery path (so [pkts] counts only
+    validated deliveries), flush deferred reorders at shutdown and keep
+    sweeping until every ring is dry despite stuck queues. Per-domain
+    stats shards carry the fault counters ({!Stats.with_faults}), so
+    [stats] reconciles them after the merge.
+
     Defaults: [domains = 1], [batch = 32], [ring_capacity = 1024],
-    [collect = false]. Device counters are reset on entry.
+    [collect = false], no fault plan. Device counters are reset on
+    entry.
 
     @raise Invalid_argument on [domains < 1] or [batch < 1]. *)

@@ -19,6 +19,15 @@ let is_empty t = available t = 0
 let is_full t = space t = 0
 
 let off_of t idx = (idx land (t.slots - 1)) * t.slot_size
+let prod_index t = t.prod
+let cons_index t = t.cons
+let slot_offset t idx = off_of t idx
+
+let check_scratch ~who t dst =
+  if Bytes.length dst < t.slot_size then
+    invalid_arg
+      (Printf.sprintf "%s: %d-byte scratch buffer for %d-byte slots" who
+         (Bytes.length dst) t.slot_size)
 
 let produce_dev t payload =
   if is_full t then false
@@ -47,6 +56,7 @@ let consume_host t =
   end
 
 let consume_host_into t dst =
+  check_scratch ~who:"Ring.consume_host_into" t dst;
   if is_empty t then false
   else begin
     Bytes.blit (Dma.mem t.dma) (off_of t t.cons) dst 0 t.slot_size;
@@ -66,6 +76,7 @@ let consume_dev t =
   end
 
 let consume_dev_into t dst =
+  check_scratch ~who:"Ring.consume_dev_into" t dst;
   if is_empty t then false
   else begin
     Dma.dev_read_into t.dma ~off:(off_of t t.cons) ~buf:dst ~pos:0 ~len:t.slot_size;

@@ -28,6 +28,18 @@ val available : t -> int
 val space : t -> int
 (** Free slots for the producer. *)
 
+val prod_index : t -> int
+(** Free-running producer index: the slot [produce_*] will fill next is
+    [slot_offset t (prod_index t)]; the one it just filled is
+    [slot_offset t (prod_index t - 1)]. Exposed for the fault-injection
+    layer, which mutates freshly-produced slots in place. *)
+
+val cons_index : t -> int
+(** Free-running consumer index. *)
+
+val slot_offset : t -> int -> int
+(** Byte offset of a free-running index's slot in [dma t]'s memory. *)
+
 val produce_dev : t -> bytes -> bool
 (** Device writes the next slot (counted as DMA). False when full. *)
 
@@ -40,8 +52,11 @@ val consume_host : t -> bytes option
 
 val consume_host_into : t -> bytes -> bool
 (** Like {!consume_host}, but blits the slot into the caller's reusable
-    buffer (which must be at least [slot_size] long) instead of
-    allocating. The batched datapath's harvest primitive. *)
+    buffer instead of allocating. The batched datapath's harvest
+    primitive.
+    @raise Invalid_argument when the buffer is shorter than [slot_size]
+    (a short scratch buffer would otherwise read as a silently truncated
+    descriptor — indistinguishable from a torn DMA write). *)
 
 val produce_host_batch : t -> bytes list -> int
 (** Host writes consecutive slots; stops at the first full slot. Returns
@@ -52,6 +67,8 @@ val consume_dev : t -> bytes option
 
 val consume_dev_into : t -> bytes -> bool
 (** Like {!consume_dev}, but blits the slot into the caller's reusable
-    buffer (at least [slot_size] long) instead of allocating. *)
+    buffer instead of allocating.
+    @raise Invalid_argument when the buffer is shorter than [slot_size]
+    (see {!consume_host_into}). *)
 
 val reset : t -> unit

@@ -9,6 +9,10 @@ type t = {
   breakdown : (string * float) list;
   bursts : int;
   burst_hist : (int * int) list;
+  faults_injected : int;
+  faults_detected : int;
+  descs_quarantined : int;
+  retries : int;
 }
 
 let make ~name ~pkts ~ledger ~dma_bytes ~drops =
@@ -28,10 +32,23 @@ let make ~name ~pkts ~ledger ~dma_bytes ~drops =
         (Cost.breakdown ledger);
     bursts;
     burst_hist = List.sort compare burst_hist;
+    faults_injected = 0;
+    faults_detected = 0;
+    descs_quarantined = 0;
+    retries = 0;
   }
 
 let with_bursts ~bursts ~burst_hist t =
   { t with bursts; burst_hist = List.sort compare burst_hist }
+
+let with_faults ~injected ~detected ~quarantined ~retries t =
+  {
+    t with
+    faults_injected = injected;
+    faults_detected = detected;
+    descs_quarantined = quarantined;
+    retries;
+  }
 
 (* Aggregate per-domain shards into one view. Per-packet averages are
    re-derived from packet-weighted totals, so merging is exact: the
@@ -86,6 +103,11 @@ let merge ~name shards =
     bursts = List.fold_left (fun a s -> a + s.bursts) 0 shards;
     burst_hist =
       Hashtbl.fold (fun k v acc -> (k, v) :: acc) htbl [] |> List.sort compare;
+    faults_injected = List.fold_left (fun a s -> a + s.faults_injected) 0 shards;
+    faults_detected = List.fold_left (fun a s -> a + s.faults_detected) 0 shards;
+    descs_quarantined =
+      List.fold_left (fun a s -> a + s.descs_quarantined) 0 shards;
+    retries = List.fold_left (fun a s -> a + s.retries) 0 shards;
   }
 
 let avg_burst t =

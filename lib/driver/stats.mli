@@ -12,6 +12,10 @@ type t = {
   bursts : int;  (** harvest bursts (0 for the unbatched harness) *)
   burst_hist : (int * int) list;
       (** (burst size, occurrences), ascending by size *)
+  faults_injected : int;  (** fault events applied by {!Fault} (0 otherwise) *)
+  faults_detected : int;  (** descriptors the recovery path flagged *)
+  descs_quarantined : int;  (** descriptors withheld from the host stack *)
+  retries : int;  (** doorbell re-rings issued for stuck queues *)
 }
 
 val make :
@@ -26,6 +30,12 @@ val make :
 
 val with_bursts : bursts:int -> burst_hist:(int * int) list -> t -> t
 (** Attach the harvest-burst accounting (histogram is sorted). *)
+
+val with_faults :
+  injected:int -> detected:int -> quarantined:int -> retries:int -> t -> t
+(** Attach the fault-injection accounting (all four default to 0 in
+    {!make}; {!merge} sums them across shards, so the merged counters
+    reconcile exactly with the per-domain fault counters). *)
 
 val merge : name:string -> t list -> t
 (** Aggregate per-domain stat shards into one view: packet counts, drops

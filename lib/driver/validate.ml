@@ -17,6 +17,58 @@ let conforms r = r.mismatches = []
 (* Semantics whose value is not a pure function of the probe packet. *)
 let nondeterministic = [ "timestamp"; "wire_timestamp" ]
 
+(* Semantics whose reference implementation mutates environment state
+   (register-file offloads): recomputing them for a check would advance
+   the register and disagree with the device by construction. *)
+let stateful = [ "flow_pkts" ]
+
+type checker = {
+  ck_env : Softnic.Feature.env;
+  ck_fields : (Opendesc.Path.lfield * Softnic.Feature.t) list;
+}
+
+let checker_of_path ~env ~softnic (path : Opendesc.Path.t) =
+  let fields =
+    List.filter_map
+      (fun (f : Opendesc.Path.lfield) ->
+        match f.l_semantic with
+        | Some sem
+          when f.l_bits <= 64
+               && (not (List.mem sem nondeterministic))
+               && not (List.mem sem stateful) ->
+            Option.map (fun feature -> (f, feature)) (Softnic.Registry.find softnic sem)
+        | _ -> None)
+      path.p_layout.fields
+  in
+  { ck_env = env; ck_fields = fields }
+
+let checker_of_device device =
+  checker_of_path ~env:(Device.env device)
+    ~softnic:(Softnic.Registry.builtin ())
+    (Device.active_path device)
+
+let checker_fields ck = List.map fst ck.ck_fields
+let checker_semantics ck =
+  List.map (fun ((f : Opendesc.Path.lfield), _) -> Option.get f.l_semantic) ck.ck_fields
+
+let check_desc ck ~pkt ~cmpt =
+  let view = Packet.Pkt.parse pkt in
+  let rec go = function
+    | [] -> None
+    | ((f : Opendesc.Path.lfield), (feature : Softnic.Feature.t)) :: rest ->
+        let expected =
+          Int64.logand
+            (feature.compute ck.ck_env pkt view)
+            (Packet.Bitops.mask f.l_bits)
+        in
+        let got =
+          Opendesc.Accessor.reader ~bit_off:f.l_bit_off ~bits:f.l_bits cmpt
+        in
+        if Int64.equal expected got then go rest
+        else Some (Option.get f.l_semantic)
+  in
+  go ck.ck_fields
+
 let probe_workloads seed =
   Packet.Workload.
     [

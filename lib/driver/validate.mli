@@ -37,3 +37,41 @@ val run :
     [compiled.config]. *)
 
 val pp : Format.formatter -> report -> unit
+
+(** {1 Per-descriptor checking}
+
+    The probe-driven {!run} validates a {e device} against its
+    description offline. The checker below validates one {e descriptor}
+    against the compiled contract online — the recovery half of the
+    fault-injection datapath ({!Fault}): every harvested completion is
+    re-derived from its packet and compared field by field before the
+    host stack may trust it. *)
+
+type checker
+
+val checker_of_path :
+  env:Softnic.Feature.env ->
+  softnic:Softnic.Registry.t ->
+  Opendesc.Path.t ->
+  checker
+(** Check every layout field whose semantic has a deterministic software
+    reference: present in [softnic], at most 64 bits, and neither
+    nondeterministic (timestamps) nor stateful (register-file offloads
+    like [flow_pkts], whose recomputation would advance the register). *)
+
+val checker_of_device : Device.t -> checker
+(** {!checker_of_path} over the device's active path, sharing the
+    device's environment so keyed semantics (RSS hash, installed flow
+    marks) agree with what the device itself computed. *)
+
+val checker_fields : checker -> Opendesc.Path.lfield list
+(** The layout fields the checker covers (the targeted-corruption
+    candidates of the fault injector). *)
+
+val checker_semantics : checker -> string list
+
+val check_desc : checker -> pkt:Packet.Pkt.t -> cmpt:bytes -> string option
+(** [Some semantic] names the first field whose completion value differs
+    from the reference recomputation on [pkt]; [None] means the
+    descriptor honours the contract. Pure for the device: no counters
+    advance, no state mutates. *)

@@ -799,6 +799,309 @@ let test_parallel_shutdown_clean () =
   check ai "one shard per worker" 2 (Array.length r.Parallel.domain_stats)
 
 (* ------------------------------------------------------------------ *)
+(* Fault injection: the chaos layer and its recovery path *)
+
+(* Regression: a scratch buffer shorter than the slot stride must be
+   rejected loudly — a silent truncation would read as a torn descriptor
+   and poison every downstream comparison. *)
+let test_ring_scratch_too_small () =
+  let r = Ring.create ~slots:4 ~slot_size:8 in
+  ignore (Ring.produce_host r (Bytes.make 8 'd'));
+  let short = Bytes.make 4 '\x00' in
+  Alcotest.check_raises "dev side"
+    (Invalid_argument
+       "Ring.consume_dev_into: 4-byte scratch buffer for 8-byte slots")
+    (fun () -> ignore (Ring.consume_dev_into r short));
+  Alcotest.check_raises "host side"
+    (Invalid_argument
+       "Ring.consume_host_into: 4-byte scratch buffer for 8-byte slots")
+    (fun () -> ignore (Ring.consume_host_into r short));
+  (* A full-size scratch still works: the entry was not consumed by the
+     failed attempts. *)
+  let ok = Bytes.make 8 '\x00' in
+  check ab "entry intact" true (Ring.consume_host_into r ok);
+  check Alcotest.bytes "slot copied" (Bytes.make 8 'd') ok
+
+let fault_device ?(queue_depth = 1024) ?(semantics = [ "rss"; "pkt_len" ]) () =
+  let model, compiled = mlx5_compiled semantics in
+  Device.create_exn ~queue_depth ~config:compiled.config model
+
+(* Drain one fault-wrapped queue dry: flush deferred reorders, then keep
+   sweeping — a sweep can deliver nothing while work remains (stuck
+   queues burn bounded kicks; fully-quarantined bursts count 0). *)
+let chaos_drain fq burst ~f =
+  Fault.flush fq;
+  let total = ref 0 in
+  let again = ref true in
+  while !again do
+    let n = Fault.harvest fq burst in
+    if n > 0 then begin
+      total := !total + n;
+      f burst
+    end;
+    again := n > 0 || Fault.rx_available fq > 0
+  done;
+  !total
+
+let test_fault_stuck_queue_recovers () =
+  let device = fault_device () in
+  let plan =
+    { (Fault.zero_plan 9L) with Fault.stuck_rate = 1.0; Fault.stuck_kicks = 3 }
+  in
+  let fq = Fault.wrap plan device in
+  check ab "injected" true (Fault.rx_inject fq (Packet.Builder.raw ~len:64 ~fill:'s'));
+  let burst = Device.burst_create ~capacity:8 device in
+  check ai "stuck: limited kicks give up" 0 (Fault.harvest ~max_kicks:2 fq burst);
+  check ai "two retries burned" 2 (Fault.counters fq).Fault.retries;
+  check ab "still pending" true (Fault.rx_available fq > 0);
+  check ai "third kick unsticks" 1 (Fault.harvest fq burst);
+  check ai "three retries total" 3 (Fault.counters fq).Fault.retries;
+  let c = Fault.counters fq in
+  check ai "stuck counted as injected" 1 c.Fault.injected;
+  check ai "stuck is benign" 0 c.Fault.contract_violating;
+  check ab "reconciles" true (Fault.reconciles c)
+
+let test_fault_doorbell_loss_recovers () =
+  let device = fault_device () in
+  let plan = { (Fault.zero_plan 21L) with Fault.doorbell_loss_rate = 1.0 } in
+  let fq = Fault.wrap plan device in
+  let fmt = Option.get (Device.tx_format device) in
+  let addr = Option.get (Opendesc.Descparser.field_for fmt "buf_addr") in
+  let pkts = Array.init 4 (fun i -> Packet.Builder.raw ~len:(64 + i) ~fill:'t') in
+  let descs =
+    List.init 4 (fun i ->
+        let desc = Bytes.make (Opendesc.Descparser.size fmt) '\x00' in
+        Opendesc.Accessor.writer ~bit_off:addr.l_bit_off ~bits:addr.l_bits desc
+          (Int64.of_int i);
+        desc)
+  in
+  let fetch a =
+    let i = Int64.to_int a in
+    if i >= 0 && i < 4 then Some pkts.(i) else None
+  in
+  check ai "posted" 4 (Fault.tx_post_batch fq descs);
+  check ai "doorbell lost: nothing processes" 0 (Fault.tx_process fq ~fetch);
+  Fault.tx_kick fq;
+  check ai "kick recovers the burst" 4 (Fault.tx_process fq ~fetch);
+  let c = Fault.counters fq in
+  check ai "loss counted" 1 c.Fault.doorbells_lost;
+  check ai "retry counted" 1 c.Fault.retries;
+  check ai "posted counter" 4 c.Fault.tx_posted;
+  check ai "sent counter" 4 c.Fault.tx_sent;
+  (* tx_drain bundles the kick loop: a second lost burst still lands. *)
+  check ai "reposted" 4 (Fault.tx_post_batch fq descs);
+  check ai "drain re-kicks" 4 (Fault.tx_drain fq ~fetch);
+  check ai "all sent" 8 (Fault.counters fq).Fault.tx_sent
+
+let test_fault_semantic_all_quarantined () =
+  let device = fault_device () in
+  let plan = { (Fault.zero_plan 11L) with Fault.semantic_rate = 1.0 } in
+  let fq = Fault.wrap plan device in
+  let w = Packet.Workload.make ~seed:3L ~flows:16 Packet.Workload.Imix in
+  let n = 200 in
+  for _ = 1 to n do
+    ignore (Fault.rx_inject fq (Packet.Workload.next w))
+  done;
+  let burst = Device.burst_create ~capacity:32 device in
+  let delivered = chaos_drain fq burst ~f:(fun _ -> ()) in
+  let c = Fault.counters fq in
+  check ai "every injection faulted" n c.Fault.injected;
+  check ai "every fault violates the contract" n c.Fault.contract_violating;
+  check ai "all detected" c.Fault.contract_violating c.Fault.detected;
+  check ai "all quarantined" c.Fault.detected c.Fault.quarantined;
+  check ai "no quarantine overflow" 0 c.Fault.quarantine_drops;
+  check ai "delivered + quarantined = accepted"
+    (c.Fault.rx_accepted + c.Fault.duplicates)
+    (delivered + c.Fault.quarantined);
+  check ab "reconciles" true (Fault.reconciles c);
+  check ai "quarantine ring holds them" c.Fault.quarantined (Fault.quarantined fq);
+  (match Fault.quarantine_consume fq with
+  | Some r -> check ab "record non-empty" true (Bytes.length r > 0)
+  | None -> Alcotest.fail "expected a quarantined record")
+
+let test_fault_duplicate_counts () =
+  let device = fault_device () in
+  let plan = { (Fault.zero_plan 17L) with Fault.duplicate_rate = 1.0 } in
+  let fq = Fault.wrap plan device in
+  let w = Packet.Workload.make ~seed:19L ~flows:8 Packet.Workload.Min_size in
+  let n = 50 in
+  for _ = 1 to n do
+    ignore (Fault.rx_inject fq (Packet.Workload.next w))
+  done;
+  let burst = Device.burst_create ~capacity:16 device in
+  let total = chaos_drain fq burst ~f:(fun _ -> ()) in
+  let c = Fault.counters fq in
+  check ai "every injection duplicated" n c.Fault.injected;
+  check ai "one extra completion each" n c.Fault.duplicates;
+  check ai "delivered = accepted + duplicates"
+    (c.Fault.rx_accepted + c.Fault.duplicates)
+    total;
+  check ai "duplicates are contract-clean" 0 c.Fault.contract_violating;
+  check ai "none quarantined" 0 c.Fault.quarantined;
+  check ab "reconciles" true (Fault.reconciles c)
+
+let test_fault_reorder_preserves_multiset () =
+  let device = fault_device () in
+  let plan = { (Fault.zero_plan 13L) with Fault.reorder_rate = 1.0 } in
+  let fq = Fault.wrap plan device in
+  let n = 32 in
+  let injected = List.init n (fun i -> Packet.Builder.raw ~len:(64 + i) ~fill:'r') in
+  List.iter (fun p -> ignore (Fault.rx_inject fq p)) injected;
+  let burst = Device.burst_create ~capacity:8 device in
+  let got = ref [] in
+  let total =
+    chaos_drain fq burst ~f:(fun (b : Device.burst) ->
+        for i = 0 to b.Device.bs_count - 1 do
+          got := Bytes.sub b.Device.bs_pkts.(i) 0 b.Device.bs_lens.(i) :: !got
+        done)
+  in
+  let got = List.rev !got in
+  let inj_bytes = List.map (fun p -> p.Packet.Pkt.buf) injected in
+  check ai "all delivered" n total;
+  check ab "order perturbed" true (not (List.equal Bytes.equal inj_bytes got));
+  check ab "multiset preserved" true
+    (List.equal Bytes.equal
+       (List.sort Bytes.compare inj_bytes)
+       (List.sort Bytes.compare got));
+  let c = Fault.counters fq in
+  check ai "reorders are benign" 0 c.Fault.contract_violating;
+  check ab "reconciles" true (Fault.reconciles c)
+
+let test_stats_merge_fault_counters () =
+  let shard name injected =
+    let l = Cost.create () in
+    Cost.charge l "x" 100.0;
+    Stats.make ~name ~pkts:10 ~ledger:l ~dma_bytes:0 ~drops:0
+    |> Stats.with_faults ~injected ~detected:(injected / 2)
+         ~quarantined:(injected / 2) ~retries:1
+  in
+  let m = Stats.merge ~name:"m" [ shard "a" 4; shard "b" 6 ] in
+  check ai "injected sums" 10 m.Stats.faults_injected;
+  check ai "detected sums" 5 m.Stats.faults_detected;
+  check ai "quarantined sums" 5 m.Stats.descs_quarantined;
+  check ai "retries sums" 2 m.Stats.retries
+
+(* The chaos twin of [sequential_reference]: inject through the fault
+   wrappers and drain through the recovery path on one domain. *)
+let chaos_sequential ~stack ~mq ~plan ~pkts ~workload =
+  let nq = Mq.queues mq in
+  let fqs = Mq.wrap_chaos ~plan mq in
+  let bursts = Mq.bursts ~capacity:64 mq in
+  let delivered = Array.make nq [] in
+  let env = Softnic.Feature.make_env () in
+  let ledger = Cost.create () in
+  let sink = ref 0L in
+  let total = ref 0 in
+  let f q (b : Device.burst) =
+    sink := Int64.add !sink (stack.Stack.bt_consume ledger env b);
+    for i = 0 to b.Device.bs_count - 1 do
+      delivered.(q) <-
+        Bytes.sub b.Device.bs_pkts.(i) 0 b.Device.bs_lens.(i) :: delivered.(q)
+    done
+  in
+  for i = 1 to pkts do
+    ignore (Mq.rx_inject_chaos mq fqs (Packet.Workload.next workload));
+    if i mod 32 = 0 then total := !total + Mq.drain_chaos mq fqs bursts ~f
+  done;
+  total := !total + Mq.drain_chaos_all mq fqs bursts ~f;
+  let counters =
+    Fault.counters_sum (Array.to_list (Array.map Fault.counters fqs))
+  in
+  (Array.map List.rev delivered, !total, !sink, counters)
+
+let delivered_equal a b =
+  Array.length a = Array.length b && Array.for_all2 (List.equal Bytes.equal) a b
+
+(* Satellite property: with every rate at 0.0 the chaos datapath — for
+   any seed, sequential or parallel — is byte-identical to the bare one,
+   and every fault counter stays zero. *)
+let prop_zero_plan_is_identity =
+  QCheck.Test.make ~name:"zero-rate chaos datapath is byte-identical" ~count:6
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let compiled, mq, workload = parallel_fixture () in
+      let pkts = 256 in
+      let stack = Hoststacks.opendesc_batched ~compiled in
+      let plan = Fault.zero_plan (Int64.of_int seed) in
+      let seq_delivered, seq_total, seq_sink =
+        sequential_reference ~stack ~mq:(mq ()) ~pkts ~workload:(workload ())
+      in
+      let ch_delivered, ch_total, ch_sink, c =
+        chaos_sequential ~stack ~mq:(mq ()) ~plan ~pkts ~workload:(workload ())
+      in
+      let r =
+        Parallel.run ~domains:2 ~batch:32 ~collect:true ~plan ~mq:(mq ())
+          ~stack:(fun _ -> stack)
+          ~pkts ~workload:(workload ()) ()
+      in
+      let pc =
+        Fault.counters_sum (Array.to_list (Option.get r.Parallel.faults))
+      in
+      seq_total = ch_total && Int64.equal seq_sink ch_sink
+      && delivered_equal seq_delivered ch_delivered
+      && c.Fault.injected = 0 && c.Fault.detected = 0
+      && c.Fault.quarantined = 0 && c.Fault.retries = 0
+      && c.Fault.rx_accepted = pkts
+      && r.Parallel.pkts = pkts && r.Parallel.stranded = 0
+      && Int64.equal r.Parallel.sink seq_sink
+      && delivered_equal seq_delivered (Option.get r.Parallel.delivered)
+      && pc.Fault.injected = 0 && pc.Fault.quarantined = 0
+      && r.Parallel.stats.Stats.faults_injected = 0
+      && r.Parallel.stats.Stats.descs_quarantined = 0)
+
+(* Satellite property: under the default plan the counters reconcile
+   exactly after Stats.merge for 1, 2 and 4 domains, and the whole
+   deterministic summary replays bit-for-bit across domain counts and
+   across same-seed runs. *)
+let prop_chaos_reconciles_and_replays =
+  QCheck.Test.make
+    ~name:"fault counters reconcile and replay across domains" ~count:4
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let compiled, mq, workload = parallel_fixture () in
+      let pkts = 384 in
+      let plan = Fault.default_plan (Int64.of_int seed) in
+      let run domains =
+        Parallel.run ~domains ~batch:32 ~plan ~mq:(mq ())
+          ~stack:(fun _ -> Hoststacks.opendesc_batched ~compiled)
+          ~pkts ~workload:(workload ()) ()
+      in
+      let summary r =
+        let c =
+          Fault.counters_sum (Array.to_list (Option.get r.Parallel.faults))
+        in
+        Printf.sprintf
+          "inj=%d kinds=%s viol=%d acc=%d dup=%d det=%d quar=%d qdrop=%d \
+           del=%d retr=%d pkts=%d per_queue=%s"
+          c.Fault.injected
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int c.Fault.by_kind)))
+          c.Fault.contract_violating c.Fault.rx_accepted c.Fault.duplicates
+          c.Fault.detected c.Fault.quarantined c.Fault.quarantine_drops
+          c.Fault.delivered c.Fault.retries r.Parallel.pkts
+          (String.concat ","
+             (Array.to_list (Array.map string_of_int r.Parallel.per_queue)))
+      in
+      let reconciled r =
+        let c =
+          Fault.counters_sum (Array.to_list (Option.get r.Parallel.faults))
+        in
+        Fault.reconciles c && r.Parallel.stranded = 0
+        && r.Parallel.stats.Stats.faults_injected = c.Fault.injected
+        && r.Parallel.stats.Stats.faults_detected = c.Fault.detected
+        && r.Parallel.stats.Stats.descs_quarantined = c.Fault.quarantined
+        && r.Parallel.stats.Stats.retries = c.Fault.retries
+        && r.Parallel.pkts = c.Fault.delivered
+        && r.Parallel.stats.Stats.pkts = c.Fault.delivered
+      in
+      let r1 = run 1 and r2 = run 2 and r4 = run 4 in
+      let r2' = run 2 in
+      reconciled r1 && reconciled r2 && reconciled r4
+      && String.equal (summary r1) (summary r2)
+      && String.equal (summary r2) (summary r4)
+      && String.equal (summary r2) (summary r2'))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -819,6 +1122,7 @@ let () =
           Alcotest.test_case "dev ops counted" `Quick test_ring_dev_ops_counted;
           Alcotest.test_case "space/available" `Quick test_ring_space_available;
           Alcotest.test_case "consume_dev_into" `Quick test_ring_consume_dev_into;
+          Alcotest.test_case "scratch too small" `Quick test_ring_scratch_too_small;
         ]
         @ qsuite [ prop_ring_matches_queue ] );
       ( "device",
@@ -873,6 +1177,21 @@ let () =
             test_parallel_matches_sequential;
           Alcotest.test_case "clean shutdown" `Quick test_parallel_shutdown_clean;
         ] );
+      ( "fault",
+        [
+          Alcotest.test_case "stuck queue recovers" `Quick
+            test_fault_stuck_queue_recovers;
+          Alcotest.test_case "doorbell loss recovers" `Quick
+            test_fault_doorbell_loss_recovers;
+          Alcotest.test_case "semantic corruption quarantined" `Quick
+            test_fault_semantic_all_quarantined;
+          Alcotest.test_case "duplicate delivery" `Quick test_fault_duplicate_counts;
+          Alcotest.test_case "reorder multiset" `Quick
+            test_fault_reorder_preserves_multiset;
+          Alcotest.test_case "stats merge fault counters" `Quick
+            test_stats_merge_fault_counters;
+        ]
+        @ qsuite [ prop_zero_plan_is_identity; prop_chaos_reconciles_and_replays ] );
       ("properties", qsuite [ prop_dma_accounting ]);
       ( "cost",
         [

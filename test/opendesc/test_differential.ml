@@ -225,6 +225,93 @@ let test_batched_equals_unbatched (m : Nic_models.Model.t) () =
     m.spec.paths
 
 (* ------------------------------------------------------------------ *)
+(* Chaos leg: under corruption-only fault plans the recovery path's
+   accepted stream stays decodable — the P4 interpreter, the compiled
+   accessors and the bit-by-bit reference reader agree on every
+   validator-accepted completion — and every contract-violating
+   descriptor is quarantined, on every NIC in the catalog. *)
+
+let test_chaos_differential (m : Nic_models.Model.t) () =
+  let nic = m.spec.nic_name in
+  List.iter
+    (fun (p : Path.t) ->
+      match p.p_assignments with
+      | [] -> ()
+      | config :: _ ->
+          let fields = covering_fields p.p_layout in
+          let tenv = Prelude.check (interp_source_of_layout p.p_layout) in
+          let parser = Option.get (P4.Typecheck.find_parser tenv "DiffParser") in
+          let size = p.p_layout.size_bytes in
+          let device = Driver.Device.create_exn ~config m in
+          let plan =
+            {
+              (Driver.Fault.zero_plan
+                 (Int64.of_int (Hashtbl.hash (nic, p.p_index))))
+              with
+              Driver.Fault.flip_rate = 0.15;
+              Driver.Fault.semantic_rate = 0.15;
+              Driver.Fault.torn_rate = 0.1;
+            }
+          in
+          let fq = Driver.Fault.wrap plan device in
+          let w = Packet.Workload.make ~seed:29L Packet.Workload.Imix in
+          for _ = 1 to 128 do
+            ignore (Driver.Fault.rx_inject fq (Packet.Workload.next w))
+          done;
+          Driver.Fault.flush fq;
+          let burst = Driver.Device.burst_create ~capacity:16 device in
+          let accepted = ref 0 in
+          let again = ref true in
+          while !again do
+            let n = Driver.Fault.harvest fq burst in
+            for i = 0 to n - 1 do
+              let cmpt =
+                Bytes.sub burst.Driver.Device.bs_cmpts.(i) 0
+                  burst.Driver.Device.bs_cmpt_lens.(i)
+              in
+              check ai
+                (Printf.sprintf "%s/p%d cmpt size" nic p.p_index)
+                size (Bytes.length cmpt);
+              let store = P4.Interp.create tenv in
+              P4.Interp.run_parser store parser ~packet:cmpt ~len:size
+                ~param:"pkt";
+              List.iteri
+                (fun j (_, bit_off, bits) ->
+                  let label =
+                    Printf.sprintf "%s/p%d chaos desc %d bits %d+%d" nic
+                      p.p_index !accepted bit_off bits
+                  in
+                  let reference = ref_read cmpt ~bit_off ~bits in
+                  (match
+                     P4.Interp.get_int store
+                       [ "hdrs"; "d"; Printf.sprintf "f%d" j ]
+                   with
+                  | Some v -> check ai64 (label ^ " interp=ref") reference v
+                  | None ->
+                      Alcotest.fail (label ^ ": interp did not bind the field"));
+                  check ai64 (label ^ " accessor=ref") reference
+                    (Accessor.reader ~bit_off ~bits cmpt))
+                fields;
+              incr accepted
+            done;
+            again := n > 0 || Driver.Fault.rx_available fq > 0
+          done;
+          let c = Driver.Fault.counters fq in
+          check ai
+            (nic ^ " every violation quarantined")
+            c.Driver.Fault.contract_violating c.Driver.Fault.quarantined;
+          check ai
+            (nic ^ " detected = violating")
+            c.Driver.Fault.contract_violating c.Driver.Fault.detected;
+          check ai
+            (nic ^ " accepted + quarantined accounts for the stream")
+            c.Driver.Fault.rx_accepted
+            (!accepted + c.Driver.Fault.quarantined);
+          check Alcotest.bool (nic ^ " reconciles") true
+            (Driver.Fault.reconciles c))
+    m.spec.paths
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let per_nic name f =
@@ -242,4 +329,6 @@ let () =
           test_device_vs_refimpl m);
       per_nic "harvest: batched vs unbatched" (fun m ->
           test_batched_equals_unbatched m);
+      per_nic "chaos: accepted stream decodes identically" (fun m ->
+          test_chaos_differential m);
     ]
