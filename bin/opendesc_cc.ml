@@ -130,6 +130,11 @@ let paths_cmd =
     | Error e -> fail "%s" e
     | Ok spec ->
         Format.printf "%a@." Opendesc.Report.paths spec;
+        let pr = spec.pruning in
+        Format.printf
+          "feasibility: %d syntactic leaves, %d feasible, %d proved \
+           infeasible; %d configurations covered by %d deparser runs@."
+          pr.pr_syntactic pr.pr_feasible pr.pr_pruned pr.pr_configs pr.pr_runs;
         (match spec.tx_formats with
         | [] -> ()
         | fs ->
@@ -301,28 +306,47 @@ let placement_cmd =
 (* --- diff ------------------------------------------------------------ *)
 
 let diff_cmd =
+  let module Ev = Opendesc_analysis.Evolution in
   let against_arg =
     Arg.(
       required
       & opt (some string) None
       & info [ "against" ] ~docv:"NIC" ~doc:"The newer revision to compare against.")
   in
-  let run nic against =
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ]
+          ~doc:"Exit non-zero when the upgrade is classified as breaking.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable JSON report (schema opendesc-diff-1).")
+  in
+  let run nic against werror json =
     let intent = Nic_models.Catalog.fig1_intent in
     match (load_nic ~intent nic, load_nic ~intent against) with
     | Error e, _ | _, Error e -> fail "%s" e
     | Ok old_spec, Ok new_spec ->
-        let changes = Opendesc.Nic_diff.compare old_spec new_spec in
-        Format.printf "%s -> %s:@.%a" old_spec.nic_name new_spec.nic_name
-          Opendesc.Nic_diff.pp changes;
-        `Ok ()
+        let report = Opendesc.Nic_diff.check old_spec new_spec in
+        if json then print_endline (Ev.report_to_json report)
+        else Format.printf "%a" Ev.pp report;
+        if werror && Ev.breaking report then begin
+          prerr_endline "opendesc_cc: breaking interface change (--werror)";
+          exit 1
+        end
+        else `Ok ()
   in
   Cmd.v
     (Cmd.info "diff"
        ~doc:
-         "Semantic diff between two NIC description revisions: what a \
-          firmware upgrade adds, removes, moves, or breaks.")
-    Term.(ret (const run $ nic_arg $ against_arg))
+         "Evolution check between two NIC description revisions: every \
+          change a firmware upgrade makes, classified transparent / \
+          recompile / breaking, with a concrete configuration witness for \
+          each breaking entry.")
+    Term.(ret (const run $ nic_arg $ against_arg $ werror_arg $ json_arg))
 
 (* --- validate -------------------------------------------------------- *)
 

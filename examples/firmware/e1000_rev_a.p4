@@ -1,0 +1,55 @@
+/* Firmware fixture, revision A: the shipping e1000-style interface.
+   One context bit selects between a checksum writeback and an RSS
+   writeback. Revision B (e1000_rev_b.p4) is the vendor's upgrade; the
+   pair drives `opendesc_cc diff` in tests and CI. */
+
+header e1000_ctx_t { bit<1> use_rss; }
+
+header e1000_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cmd;
+  bit<8>  sta;
+  @semantic("vlan") bit<16> vlan;
+}
+
+header e1000a_csum_cmpt_t {
+  @semantic("ip_id")       bit<16> ip_id;
+  @semantic("ip_checksum") bit<16> csum;
+  @semantic("pkt_len")     bit<16> length;
+  bit<8> status;
+  bit<8> errors;
+}
+
+header e1000a_rss_cmpt_t {
+  @semantic("rss")     bit<32> rss_hash;
+  @semantic("pkt_len") bit<16> length;
+  bit<8> status;
+  bit<8> errors;
+}
+
+struct e1000a_meta_t {
+  e1000a_rss_cmpt_t  rss;
+  e1000a_csum_cmpt_t legacy;
+}
+
+parser E1000DescParser(desc_in d, in e1000_ctx_t h2c_ctx,
+                       out e1000_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser @cmpt_slot(8)
+control E1000CmptDeparser(cmpt_out o, in e1000_ctx_t ctx,
+                          in e1000_tx_desc_t desc_hdr,
+                          in e1000a_meta_t pipe_meta) {
+  apply {
+    if (ctx.use_rss == 1) {
+      o.emit(pipe_meta.rss);
+    } else {
+      o.emit(pipe_meta.legacy);
+    }
+  }
+}

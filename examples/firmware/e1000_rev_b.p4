@@ -1,0 +1,58 @@
+/* Firmware fixture, revision B: the vendor's upgrade of e1000_rev_a.p4.
+   Against revision A the evolution checker must find all three classes:
+
+   - transparent: the RSS writeback gains a vlan field (old hosts ignore
+     the bytes);
+   - recompile:   pkt_len widens to 32 bits on the checksum path, and
+     the RSS writeback reorders rss_hash / pkt_len (regenerated
+     accessors absorb both);
+   - breaking:    the checksum path drops ip_checksum — witnessed by the
+     configuration {use_rss=0}, under which revision A promised it. */
+
+header e1000_ctx_t { bit<1> use_rss; }
+
+header e1000_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cmd;
+  bit<8>  sta;
+  @semantic("vlan") bit<16> vlan;
+}
+
+header e1000b_csum_cmpt_t {
+  @semantic("ip_id")   bit<16> ip_id;
+  bit<16> rsvd;
+  @semantic("pkt_len") bit<32> length;
+}
+
+header e1000b_rss_cmpt_t {
+  @semantic("pkt_len") bit<16> length;
+  @semantic("vlan")    bit<16> vlan;
+  @semantic("rss")     bit<32> rss_hash;
+}
+
+struct e1000b_meta_t {
+  e1000b_rss_cmpt_t  rss;
+  e1000b_csum_cmpt_t legacy;
+}
+
+parser E1000DescParser(desc_in d, in e1000_ctx_t h2c_ctx,
+                       out e1000_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser @cmpt_slot(8)
+control E1000CmptDeparser(cmpt_out o, in e1000_ctx_t ctx,
+                          in e1000_tx_desc_t desc_hdr,
+                          in e1000b_meta_t pipe_meta) {
+  apply {
+    if (ctx.use_rss == 1) {
+      o.emit(pipe_meta.rss);
+    } else {
+      o.emit(pipe_meta.legacy);
+    }
+  }
+}

@@ -1,0 +1,352 @@
+(* Product abstract domain for symbolic deparser evaluation: unsigned
+   integer intervals x known-bits (tristate bits), plus abstract
+   booleans. Every transfer function mirrors the concrete semantics of
+   P4.Eval — bit<w> arithmetic wraps at w, widthless literals are
+   infinite precision, comparisons are unsigned — so the soundness
+   invariant is: whenever the concrete evaluator produces a value from
+   inputs contained in the abstract inputs, that value is contained in
+   the abstract result (VUnknown is contained in everything). *)
+
+type abool = BTrue | BFalse | BMaybe
+
+type num = {
+  lo : int64;  (* unsigned lower bound *)
+  hi : int64;  (* unsigned upper bound; lo <=u hi *)
+  kmask : int64;  (* bit set -> that bit's value is known *)
+  kval : int64;  (* known bit values; kval land (lnot kmask) = 0 *)
+  width : int option;  (* bit<w> width; None for integer literals *)
+}
+
+type t = Num of num | Bool of abool | Top | Bot
+
+(* ---- unsigned int64 helpers ---- *)
+
+let ule a b = Int64.unsigned_compare a b <= 0
+let ult a b = Int64.unsigned_compare a b < 0
+let umin a b = if ule a b then a else b
+let umax a b = if ule a b then b else a
+let mask w = if w >= 64 then -1L else Int64.sub (Int64.shift_left 1L w) 1L
+
+(* values below 2^62 add/subtract without signed overflow *)
+let small v = 0L <= v && v < 0x4000_0000_0000_0000L
+
+let bit_len v =
+  let rec go n v = if v = 0L then n else go (n + 1) (Int64.shift_right_logical v 1) in
+  if v < 0L then 64 else go 0 v
+
+(* ---- normalisation: reconcile interval and known bits ---- *)
+
+let norm (n : num) : t =
+  (* bounds implied by the known bits: unknown bits all-0 / all-1 *)
+  let minb = n.kval in
+  let maxb =
+    let m = Int64.logor n.kval (Int64.lognot n.kmask) in
+    match n.width with Some w -> Int64.logand m (mask w) | None -> m
+  in
+  let lo = umax n.lo minb and hi = umin n.hi maxb in
+  if ult hi lo then Bot
+  else
+    (* bits above the top bit of a small hi are known zero *)
+    let kmask, kval =
+      if small hi then (Int64.logor n.kmask (Int64.lognot (mask (bit_len hi))), n.kval)
+      else (n.kmask, n.kval)
+    in
+    if Int64.logand kval (Int64.lognot kmask) <> 0L then Bot
+    else if kmask = -1L then
+      (* fully known: a singleton *)
+      if ule lo kval && ule kval hi then Num { lo = kval; hi = kval; kmask; kval; width = n.width }
+      else Bot
+    else Num { lo; hi; kmask; kval; width = n.width }
+
+let num ?width ~lo ~hi ~kmask ~kval () = norm { lo; hi; kmask; kval; width }
+
+(* ---- constructors ---- *)
+
+let trunc width v =
+  match width with Some w -> Int64.logand v (mask w) | None -> v
+
+let const ?width v =
+  let v = trunc width v in
+  Num { lo = v; hi = v; kmask = -1L; kval = v; width }
+
+let of_width w = Num { lo = 0L; hi = mask w; kmask = Int64.lognot (mask w); kval = 0L; width = Some w }
+
+let full_range width =
+  match width with
+  | Some w -> of_width w
+  | None -> Num { lo = 0L; hi = -1L; kmask = 0L; kval = 0L; width = None }
+
+let of_values ?width = function
+  | [] -> Bot
+  | v0 :: rest as vs ->
+      let vs = List.map (trunc width) vs and v0 = trunc width v0 in
+      let lo = List.fold_left umin v0 vs and hi = List.fold_left umax v0 vs in
+      let diff = List.fold_left (fun acc v -> Int64.logor acc (Int64.logxor v v0)) 0L (List.map (trunc width) rest) in
+      let kmask = Int64.lognot diff in
+      num ?width ~lo ~hi ~kmask ~kval:(Int64.logand v0 kmask) ()
+
+let of_range ?width ~lo ~hi () = num ?width ~lo ~hi ~kmask:0L ~kval:0L ()
+
+let of_bool b = Bool (if b then BTrue else BFalse)
+
+let singleton = function
+  | Num { kmask = -1L; kval; _ } -> Some kval
+  | Num { lo; hi; _ } when lo = hi -> Some lo
+  | _ -> None
+
+let range = function Num n -> Some (n.lo, n.hi) | _ -> None
+
+(* ---- membership (the soundness relation) ---- *)
+
+let mem_int v = function
+  | Top -> true
+  | Bot | Bool _ -> false
+  | Num n -> ule n.lo v && ule v n.hi && Int64.logand v n.kmask = n.kval
+
+let mem_bool b = function
+  | Top -> true
+  | Bot | Num _ -> false
+  | Bool BMaybe -> true
+  | Bool BTrue -> b
+  | Bool BFalse -> not b
+
+let mem_value (v : P4.Eval.value) t =
+  match v with
+  | P4.Eval.VUnknown -> true  (* unknown concrete is contained everywhere *)
+  | P4.Eval.VInt { v; _ } -> mem_int v t
+  | P4.Eval.VBool b -> mem_bool b t
+
+(* ---- lattice operations ---- *)
+
+let join_abool a b = if a = b then a else BMaybe
+
+let join a b =
+  match (a, b) with
+  | Bot, x | x, Bot -> x
+  | Top, _ | _, Top -> Top
+  | Bool x, Bool y -> Bool (join_abool x y)
+  | Num x, Num y when x.width = y.width ->
+      num ?width:x.width ~lo:(umin x.lo y.lo) ~hi:(umax x.hi y.hi)
+        ~kmask:(Int64.logand (Int64.logand x.kmask y.kmask)
+                  (Int64.lognot (Int64.logxor x.kval y.kval)))
+        ~kval:(Int64.logand x.kval
+                 (Int64.logand (Int64.logand x.kmask y.kmask)
+                    (Int64.lognot (Int64.logxor x.kval y.kval))))
+        ()
+  | Num _, Num _ | Num _, Bool _ | Bool _, Num _ -> Top
+
+let meet a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Top, x | x, Top -> x
+  | Bool x, Bool y -> if x = y then Bool x else if x = BMaybe then Bool y else if y = BMaybe then Bool x else Bot
+  | Num x, Num y ->
+      (* widths should agree when both known; keep the first (the
+         variable's) width, which governs later wraps *)
+      let kmask = Int64.logor x.kmask y.kmask in
+      let conflict = Int64.logand (Int64.logand x.kmask y.kmask) (Int64.logxor x.kval y.kval) in
+      if conflict <> 0L then Bot
+      else
+        num ?width:x.width ~lo:(umax x.lo y.lo) ~hi:(umin x.hi y.hi) ~kmask
+          ~kval:(Int64.logor x.kval y.kval) ()
+  | Num _, Bool _ | Bool _, Num _ -> Bot
+
+(* exclude a single value from a numeric abstraction (for refining the
+   negative side of an equality): only interval endpoints can be
+   trimmed exactly *)
+let exclude v t =
+  match t with
+  | Num n when n.lo = v && n.hi = v -> Bot
+  | Num n when n.lo = v -> norm { n with lo = Int64.add n.lo 1L }
+  | Num n when n.hi = v -> norm { n with hi = Int64.sub n.hi 1L }
+  | t -> t
+
+(* ---- truth testing (mirrors P4.Eval.as_bool) ---- *)
+
+let truth = function
+  | Bool b -> b
+  | Top | Bot -> BMaybe
+  | Num n ->
+      if n.lo = 0L && n.hi = 0L then BFalse
+      else if ult 0L n.lo || Int64.logand n.kval n.kmask <> 0L then BTrue
+      else BMaybe
+
+let not_abool = function BTrue -> BFalse | BFalse -> BTrue | BMaybe -> BMaybe
+
+(* ---- arithmetic transfer functions (mirror P4.Eval.arith) ---- *)
+
+let retain_width a b = match (a, b) with Some w, _ -> Some w | None, w -> w
+
+(* exact path: both operands are singletons -> run the concrete
+   evaluator's own arithmetic, so the mirror cannot drift *)
+let concrete_binop op x xw y yw =
+  match P4.Eval.(arith_value op (VInt { v = x; width = xw }) (VInt { v = y; width = yw })) with
+  | P4.Eval.VInt { v; width } -> const ?width v
+  | P4.Eval.VBool b -> of_bool b
+  | P4.Eval.VUnknown -> Top
+
+let cmp_abool op (x : num) (y : num) =
+  let known_conflict =
+    let common = Int64.logand x.kmask y.kmask in
+    Int64.logand common (Int64.logxor x.kval y.kval) <> 0L
+  in
+  match op with
+  | P4.Ast.Eq -> (
+      match (singleton (Num x), singleton (Num y)) with
+      | Some a, Some b -> if a = b then BTrue else BFalse
+      | _ ->
+          if ult x.hi y.lo || ult y.hi x.lo || known_conflict then BFalse
+          else BMaybe)
+  | P4.Ast.Neq -> (
+      match (singleton (Num x), singleton (Num y)) with
+      | Some a, Some b -> if a = b then BFalse else BTrue
+      | _ ->
+          if ult x.hi y.lo || ult y.hi x.lo || known_conflict then BTrue
+          else BMaybe)
+  | P4.Ast.Lt -> if ult x.hi y.lo then BTrue else if ule y.hi x.lo then BFalse else BMaybe
+  | P4.Ast.Le -> if ule x.hi y.lo then BTrue else if ult y.hi x.lo then BFalse else BMaybe
+  | P4.Ast.Gt -> if ult y.hi x.lo then BTrue else if ule x.hi y.lo then BFalse else BMaybe
+  | P4.Ast.Ge -> if ule y.hi x.lo then BTrue else if ult x.hi y.lo then BFalse else BMaybe
+  | _ -> BMaybe
+
+let binop op a b =
+  match (a, b) with
+  | Bot, _ | _, Bot -> Bot
+  | Bool x, Bool y -> (
+      match op with
+      | P4.Ast.Eq -> Bool (if x = BMaybe || y = BMaybe then BMaybe else if x = y then BTrue else BFalse)
+      | P4.Ast.Neq -> Bool (if x = BMaybe || y = BMaybe then BMaybe else if x <> y then BTrue else BFalse)
+      | P4.Ast.LAnd | P4.Ast.LOr -> Top (* handled by the short-circuit eval *)
+      | _ -> Top)
+  | Num x, Num y -> (
+      match (singleton a, singleton b) with
+      | Some sx, Some sy -> concrete_binop op sx x.width sy y.width
+      | _ -> (
+          let w = retain_width x.width y.width in
+          let overflow_top = full_range w in
+          match op with
+          | P4.Ast.Eq | P4.Ast.Neq | P4.Ast.Lt | P4.Ast.Le | P4.Ast.Gt | P4.Ast.Ge ->
+              Bool (cmp_abool op x y)
+          | P4.Ast.Add ->
+              if small x.hi && small y.hi then begin
+                let hi = Int64.add x.hi y.hi in
+                match w with
+                | Some ww when ult (mask ww) hi -> overflow_top
+                | _ -> num ?width:w ~lo:(Int64.add x.lo y.lo) ~hi ~kmask:0L ~kval:0L ()
+              end
+              else overflow_top
+          | P4.Ast.Sub ->
+              if small x.hi && small y.hi && ule y.hi x.lo then
+                num ?width:w ~lo:(Int64.sub x.lo y.hi) ~hi:(Int64.sub x.hi y.lo)
+                  ~kmask:0L ~kval:0L ()
+              else overflow_top
+          | P4.Ast.Mul ->
+              if
+                small x.hi && small y.hi
+                && (y.hi = 0L || ule x.hi (Int64.div 0x3FFF_FFFF_FFFF_FFFFL (umax y.hi 1L)))
+              then begin
+                let hi = Int64.mul x.hi y.hi in
+                match w with
+                | Some ww when ult (mask ww) hi -> overflow_top
+                | _ -> num ?width:w ~lo:(Int64.mul x.lo y.lo) ~hi ~kmask:0L ~kval:0L ()
+              end
+              else overflow_top
+          | P4.Ast.BAnd ->
+              (* known-0 bits of either side are known-0 in the result;
+                 bits known-1 in both are known-1 *)
+              let k0 =
+                Int64.logor
+                  (Int64.logand x.kmask (Int64.lognot x.kval))
+                  (Int64.logand y.kmask (Int64.lognot y.kval))
+              in
+              let k1 = Int64.logand (Int64.logand x.kmask x.kval) (Int64.logand y.kmask y.kval) in
+              num ?width:w ~lo:0L ~hi:(umin x.hi y.hi) ~kmask:(Int64.logor k0 k1) ~kval:k1 ()
+          | P4.Ast.BOr ->
+              let k1 =
+                Int64.logor (Int64.logand x.kmask x.kval) (Int64.logand y.kmask y.kval)
+              in
+              let k0 =
+                Int64.logand
+                  (Int64.logand x.kmask (Int64.lognot x.kval))
+                  (Int64.logand y.kmask (Int64.lognot y.kval))
+              in
+              let hi =
+                if small x.hi && small y.hi then mask (max (bit_len x.hi) (bit_len y.hi))
+                else -1L
+              in
+              let t = num ?width:w ~lo:(umax x.lo y.lo) ~hi ~kmask:(Int64.logor k0 k1) ~kval:k1 () in
+              (match (w, t) with Some ww, Num n -> norm { n with hi = umin n.hi (mask ww) } | _ -> t)
+          | P4.Ast.BXor ->
+              let kmask = Int64.logand x.kmask y.kmask in
+              let kval = Int64.logand (Int64.logxor x.kval y.kval) kmask in
+              let hi =
+                if small x.hi && small y.hi then mask (max (bit_len x.hi) (bit_len y.hi))
+                else -1L
+              in
+              let t = num ?width:w ~lo:0L ~hi ~kmask ~kval () in
+              (match (w, t) with Some ww, Num n -> norm { n with hi = umin n.hi (mask ww) } | _ -> t)
+          | P4.Ast.Shr -> (
+              match singleton b with
+              | Some s when 0L <= s && s < 64L ->
+                  let s = Int64.to_int s in
+                  if small x.hi then
+                    num ?width:x.width
+                      ~lo:(Int64.shift_right_logical x.lo s)
+                      ~hi:(Int64.shift_right_logical x.hi s)
+                      ~kmask:0L ~kval:0L ()
+                  else full_range x.width
+              | _ -> full_range x.width)
+          | P4.Ast.Shl | P4.Ast.Div | P4.Ast.Mod | P4.Ast.Concat -> Top
+          | P4.Ast.LAnd | P4.Ast.LOr -> Top))
+  | Top, _ | _, Top | Num _, Bool _ | Bool _, Num _ -> (
+      (* a comparison of unconstrained values is still a boolean *)
+      match op with
+      | P4.Ast.Eq | P4.Ast.Neq | P4.Ast.Lt | P4.Ast.Le | P4.Ast.Gt | P4.Ast.Ge ->
+          Bool BMaybe
+      | _ -> Top)
+
+let unop op a =
+  match (op, a) with
+  | _, Bot -> Bot
+  | P4.Ast.LNot, Bool b -> Bool (not_abool b)
+  | P4.Ast.LNot, (Num _ as n) -> (
+      (* concrete: VBool (v = 0) *)
+      match truth n with BTrue -> Bool BFalse | BFalse -> Bool BTrue | BMaybe -> Bool BMaybe)
+  | P4.Ast.LNot, Top -> Bool BMaybe
+  | P4.Ast.Neg, Num n -> (
+      match singleton (Num n) with
+      | Some v ->
+          let v = Int64.neg v in
+          const ?width:n.width (trunc n.width v)
+      | None -> full_range n.width)
+  | P4.Ast.BitNot, Num n ->
+      let kval = trunc n.width (Int64.logand (Int64.lognot n.kval) n.kmask) in
+      num ?width:n.width ~lo:0L
+        ~hi:(match n.width with Some w -> mask w | None -> -1L)
+        ~kmask:n.kmask ~kval ()
+  | (P4.Ast.Neg | P4.Ast.BitNot), _ -> Top
+
+(* cast to bit<w> (mirrors P4.Eval's ECast case) *)
+let cast_bit w t =
+  match t with
+  | Bot -> Bot
+  | Bool BTrue -> const ~width:w 1L
+  | Bool BFalse -> const ~width:w 0L
+  | Bool BMaybe -> of_values ~width:w [ 0L; 1L ]
+  | Num n when small n.hi && ule n.hi (mask w) ->
+      num ~width:w ~lo:n.lo ~hi:n.hi ~kmask:(Int64.logand n.kmask (mask w))
+        ~kval:(Int64.logand n.kval (mask w)) ()
+  | Num _ | Top -> of_width w
+
+let pp ppf = function
+  | Top -> Format.fprintf ppf "T"
+  | Bot -> Format.fprintf ppf "_|_"
+  | Bool BTrue -> Format.fprintf ppf "true"
+  | Bool BFalse -> Format.fprintf ppf "false"
+  | Bool BMaybe -> Format.fprintf ppf "bool?"
+  | Num n ->
+      Format.fprintf ppf "[%Lu,%Lu]" n.lo n.hi;
+      if n.kmask <> 0L && not (small n.hi && n.kmask = Int64.lognot (mask (bit_len n.hi))) then
+        Format.fprintf ppf "&%Lx=%Lx" n.kmask n.kval
+
+let to_string t = Format.asprintf "%a" pp t

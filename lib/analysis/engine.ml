@@ -47,6 +47,9 @@ type dep_prep = {
   p_ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
   p_assignments : Ctxdom.assignment list;
   p_runs : Dep_ir.run list;  (** every run, including forked ones *)
+  p_assign_runs : (Ctxdom.assignment * Dep_ir.run) list;
+      (** the same runs, with the configuration that produced each —
+          several runs per assignment when undecidable branches forked *)
   p_groups : group list;  (** distinct emit sequences *)
 }
 
@@ -174,6 +177,7 @@ let prepare add (inp : input) : dep_prep option =
               p_ctx = ctx;
               p_assignments = assignments;
               p_runs = List.map snd runs;
+              p_assign_runs = runs;
               p_groups = group_runs runs;
             })
 
@@ -298,8 +302,19 @@ let feasibility_pass add tenv (prep : dep_prep) =
   let ctx_name =
     match prep.p_ctx with Some (p, _) -> p.c_name | None -> "ctx"
   in
+  (* Symbolic pass over the same IR: one walk covers every context
+     configuration at once, refining context-field abstractions at
+     each branch, so it also decides predicates over runtime
+     descriptor bytes (which the concrete enumeration must skip). *)
+  let sym =
+    Symexec.exec
+      ~base:
+        (Symexec.base_env ~consts ~ctx:prep.p_ctx
+           ~params:prep.p_ctrl.ct_params ())
+      ir
+  in
   List.iter
-    (fun ((_, cond) : int * P4.Ast.expr) ->
+    (fun ((site, cond) : int * P4.Ast.expr) ->
       let outcomes =
         List.filter_map
           (fun a ->
@@ -313,7 +328,9 @@ let feasibility_pass add tenv (prep : dep_prep) =
       if
         List.length outcomes = List.length prep.p_assignments
         && outcomes <> []
-      then
+      then begin
+        (* decidable from the configuration alone: the concrete
+           enumeration is exact and governs this site (OD008) *)
         match List.sort_uniq Bool.compare outcomes with
         | [ b ] ->
             add
@@ -324,7 +341,35 @@ let feasibility_pass add tenv (prep : dep_prep) =
                  (P4.Pretty.expr_to_string cond)
                  b
                  (List.length prep.p_assignments))
-        | _ -> ())
+        | _ -> ()
+      end
+      else
+        (* data-dependent: only the symbolic evaluator can reason here *)
+        match List.assoc_opt site sym.Symexec.sx_verdicts with
+        | None | Some [] -> () (* never reached along a feasible prefix *)
+        | Some verdicts ->
+            let all v = List.for_all (fun x -> x = v) verdicts in
+            if all Absdom.BTrue || all Absdom.BFalse then
+              let b = all Absdom.BTrue in
+              add
+                (D.make ~span:(P4.Ast.expr_span cond) ~code:"OD018"
+                   ~severity:D.Warning
+                   "branch predicate %s depends on runtime data but is \
+                    proved always %b by interval and known-bits analysis; \
+                    the %s side's completion paths are unreachable for \
+                    every configuration and every descriptor value"
+                   (P4.Pretty.expr_to_string cond)
+                   b
+                   (if b then "false" else "true"))
+            else
+              add
+                (D.make ~span:(P4.Ast.expr_span cond) ~code:"OD019"
+                   ~severity:D.Info
+                   "branch predicate %s cannot be decided from the context, \
+                    even symbolically; completion-path feasibility is \
+                    over-approximated (the layout is not selected by \
+                    configuration alone)"
+                   (P4.Pretty.expr_to_string cond)))
     ir.Dep_ir.ir_ifs;
   (* OD009: context fields with no influence on any branch, through a
      taint closure over local definitions. *)
@@ -378,6 +423,100 @@ let feasibility_pass add tenv (prep : dep_prep) =
                   select a completion layout"
                  ctx_header.h_name f.f_name))
         ctx_header.h_fields
+
+(* ------------------------------------------------------------------ *)
+(* Pass 2b: accessor certification (OD020). A synthesized accessor is a
+   fixed-offset load chosen per configuration; it is only safe when the
+   semantic it reads is written at that same offset on EVERY feasible
+   completion the device may emit under that configuration. When
+   undecidable (runtime-data) branches fork the runs of one assignment,
+   each semantic must agree across the forks — otherwise the accessor
+   can observe unwritten completion-ring bytes. *)
+
+let describe_assignment (a : Ctxdom.assignment) =
+  match a with
+  | [] -> "{}"
+  | a ->
+      "{"
+      ^ String.concat ", " (List.map (fun (k, v) -> Printf.sprintf "%s=%Ld" k v) a)
+      ^ "}"
+
+let certification_pass add tenv (prep : dep_prep) =
+  (* Forked runs whose emit sequence is symbolically proved unreachable
+     (every matching leaf's path condition is bottom) are not feasible
+     completions: an always-true runtime guard must not fail
+     certification. *)
+  let sym =
+    Symexec.exec
+      ~base:
+        (Symexec.base_env
+           ~consts:(P4.Typecheck.const_env tenv)
+           ~ctx:prep.p_ctx ~params:prep.p_ctrl.ct_params ())
+      prep.p_ir
+  in
+  let feasible_run (r : Dep_ir.run) =
+    let ids =
+      List.map (fun (x : Dep_ir.exec_emit) -> x.Dep_ir.x_emit.Dep_ir.e_id) r.Dep_ir.r_emits
+    in
+    List.exists
+      (fun (l : Symexec.leaf) -> l.Symexec.lf_feasible && l.Symexec.lf_emit_ids = ids)
+      sym.Symexec.sx_leaves
+  in
+  let reported : (string, unit) Hashtbl.t = Hashtbl.create 4 in
+  List.iter
+    (fun a ->
+      let runs =
+        List.filter_map
+          (fun (a', r) -> if a' = a && feasible_run r then Some r else None)
+          prep.p_assign_runs
+      in
+      if List.length runs > 1 then
+        let sems =
+          List.concat_map run_semantics runs |> List.sort_uniq String.compare
+        in
+        List.iter
+          (fun s ->
+            if not (Hashtbl.mem reported s) then
+              let placement r =
+                List.find_opt (fun af -> af.af_semantic = Some s) (fields_of_run r)
+              in
+              let placements = List.map placement runs in
+              let positions =
+                List.sort_uniq Stdlib.compare
+                  (List.map
+                     (Option.map (fun af -> (af.af_bit_off, af.af_bits)))
+                     placements)
+              in
+              match positions with
+              | [ Some _ ] -> () (* same offset and width on every fork *)
+              | _ ->
+                  Hashtbl.add reported s ();
+                  let span =
+                    List.find_map
+                      (Option.map (fun af -> af.af_span))
+                      (List.filter Option.is_some placements)
+                  in
+                  let where = function
+                    | None -> "absent"
+                    | Some (af : afield) ->
+                        Printf.sprintf "at bit %d (%d bits)" af.af_bit_off
+                          af.af_bits
+                  in
+                  let variants =
+                    List.sort_uniq String.compare (List.map where placements)
+                  in
+                  add
+                    (D.make ?span ~code:"OD020" ~severity:D.Error
+                       "accessor for semantic %S cannot be certified: \
+                        configuration %s admits %d feasible completions and \
+                        the field is %s; a fixed-offset read can observe \
+                        unwritten completion bytes"
+                       s
+                       (describe_assignment a)
+                       (List.length runs)
+                       (String.concat " in one but " variants)))
+          sems)
+    prep.p_assignments
 
 (* ------------------------------------------------------------------ *)
 (* Pass 3: contract consistency. *)
@@ -647,6 +786,7 @@ let analyze (inp : input) : D.t list =
   | Some prep ->
       layout_pass add prep;
       feasibility_pass add inp.in_tenv prep;
+      certification_pass add inp.in_tenv prep;
       codegen_pass add prep
   | None -> ());
   let tx_formats =

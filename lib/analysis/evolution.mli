@@ -1,0 +1,74 @@
+(** Contract evolution (§6): classify interface changes between two
+    revisions of a NIC description by their impact on deployed hosts.
+
+    - [Transparent] — old hosts keep working with the binaries they have
+      (new semantics, new layouts no old configuration selects).
+    - [Recompile] — regenerating accessors restores correctness (a field
+      moved or widened, TX format list changed); running old binaries
+      would misread.
+    - [Breaking] — no recompilation can recover the old promise (a
+      semantic or a whole layout disappeared, a field narrowed below its
+      certified range). Each Breaking entry carries a {e witness}: a
+      concrete context assignment under which the regression is
+      observable.
+
+    The checker consumes a pure interface summary ({!iface}) so it lives
+    in the analysis layer; [Opendesc.Nic_diff.to_iface] builds one from
+    a loaded NIC description. *)
+
+type config = (string * int64) list
+(** One context assignment, in declaration order. *)
+
+type ifield = {
+  ev_name : string;
+  ev_semantic : string option;
+  ev_bit_off : int;
+  ev_bits : int;
+}
+
+type ipath = {
+  ev_index : int;
+  ev_size_bytes : int;
+  ev_fields : ifield list;
+  ev_prov : string list;  (** sorted, distinct *)
+  ev_configs : config list;  (** configurations selecting this path *)
+}
+
+type iface = { ev_nic : string; ev_paths : ipath list; ev_tx_sizes : int list }
+
+type klass = Transparent | Recompile | Breaking
+
+val class_to_string : klass -> string
+val class_rank : klass -> int
+
+type witness = { w_config : config; w_note : string }
+
+type entry = {
+  e_class : klass;
+  e_kind : string;  (** stable slug, e.g. ["semantic_removed"] *)
+  e_semantic : string option;
+  e_old_path : int option;
+  e_new_path : int option;
+  e_detail : string;
+  e_witness : witness option;
+}
+
+type report = { r_old : string; r_new : string; r_entries : entry list }
+
+val check : iface -> iface -> report
+(** [check old new]: paths are matched by Prov-set similarity; matched
+    pairs are compared semantic-by-semantic (presence, placement, width
+    — widths judged by {!Absdom} range inclusion), unmatched paths
+    classified whole. *)
+
+val worst : report -> klass
+(** The report's overall class (the maximum over entries). *)
+
+val breaking : report -> bool
+
+val report_to_json : report -> string
+(** One-line JSON document, schema ["opendesc-diff-1"]. *)
+
+val entry_to_json : entry -> string
+val config_to_string : config -> string
+val pp : Format.formatter -> report -> unit

@@ -4,6 +4,7 @@ type t = {
   a_semantic : string option;
   a_bit_off : int;
   a_bits : int;
+  a_range : int64 * int64;
   a_get : bytes -> int64;
 }
 
@@ -59,17 +60,42 @@ let writer ~bit_off ~bits =
   end
   else fun b v -> Packet.Bitops.set_bits b ~bit_off ~width:bits v
 
-let of_lfield (f : Path.lfield) =
+(* Certified value range: what the read can actually return. Wide
+   reserved blobs read as 0; a field wider than its registry semantic is
+   zero-padded above the registry width (the OD011 contract), so the
+   range is bounded by the narrower of the two. Derived through the
+   abstract domain so it agrees with the analysis engine's arithmetic. *)
+let range_of ~bits ~registry_bits =
+  if bits > 64 then (0L, 0L)
+  else
+    let eff =
+      match registry_bits with Some r when r < bits -> r | _ -> bits
+    in
+    match Opendesc_analysis.Absdom.(range (of_width eff)) with
+    | Some r -> r
+    | None -> (0L, 0L)
+
+let of_lfield ?registry_bits (f : Path.lfield) =
   {
     a_name = f.l_name;
     a_header = f.l_header;
     a_semantic = f.l_semantic;
     a_bit_off = f.l_bit_off;
     a_bits = f.l_bits;
+    a_range = range_of ~bits:f.l_bits ~registry_bits;
     a_get = reader_fn ~bit_off:f.l_bit_off ~bits:f.l_bits;
   }
 
-let of_layout (l : Path.layout) = List.map of_lfield l.fields
+let of_layout ?registry_width (l : Path.layout) =
+  List.map
+    (fun (f : Path.lfield) ->
+      let registry_bits =
+        match (registry_width, f.l_semantic) with
+        | Some w, Some s -> w s
+        | _ -> None
+      in
+      of_lfield ?registry_bits f)
+    l.fields
 
 let read_all (l : Path.layout) b =
   List.map

@@ -16,6 +16,10 @@ type t = {
   a_semantic : string option;
   a_bit_off : int;
   a_bits : int;
+  a_range : int64 * int64;
+      (** certified unsigned range of values the read can return, derived
+          through {!Opendesc_analysis.Absdom} from the field width and
+          (when known) the registry semantic's width *)
   a_get : bytes -> int64;
 }
 
@@ -26,10 +30,13 @@ val reader : bit_off:int -> bits:int -> bytes -> int64
 
 val writer : bit_off:int -> bits:int -> bytes -> int64 -> unit
 
-val of_lfield : Path.lfield -> t
+val of_lfield : ?registry_bits:int -> Path.lfield -> t
+(** Pass [?registry_bits] (the registry width of the field's semantic)
+    to tighten the certified range below the raw field width. *)
 
-val of_layout : Path.layout -> t list
-(** One accessor per field. *)
+val of_layout : ?registry_width:(string -> int option) -> Path.layout -> t list
+(** One accessor per field; [?registry_width] is consulted per semantic
+    to tighten each certified range. *)
 
 val read_all : Path.layout -> bytes -> (string * int64) list
 (** Field name → value for a whole record (diagnostics). *)

@@ -109,7 +109,11 @@ let run ?alpha ?registry ?softnic ?tx_intent ~intent (nic : Nic_spec.t) =
       let chosen = outcome.chosen.s_path in
       let bind sem =
         match Path.field_for chosen sem with
-        | Some f -> Ok (sem, Hardware (Accessor.of_lfield f))
+        | Some f ->
+            Ok
+              ( sem,
+                Hardware
+                  (Accessor.of_lfield ?registry_bits:(Semantic.width registry sem) f) )
         | None -> (
             match Softnic.Registry.find softnic sem with
             | Some feature -> Ok (sem, Software feature)
@@ -136,7 +140,9 @@ let run ?alpha ?registry ?softnic ?tx_intent ~intent (nic : Nic_spec.t) =
               intent;
               outcome;
               bindings;
-              field_accessors = Accessor.of_layout chosen.p_layout;
+              field_accessors =
+                Accessor.of_layout
+                  ~registry_width:(Semantic.width registry) chosen.p_layout;
               config =
                 (match chosen.p_assignments with a :: _ -> a | [] -> []);
               tx_format;

@@ -117,6 +117,40 @@ let pp_change ppf = function
         (String.concat ";" (List.map string_of_int from_sizes))
         (String.concat ";" (List.map string_of_int to_sizes))
 
+(* ------------------------------------------------------------------ *)
+(* Evolution view: the symbolic checker's classification with per-path
+   witnesses, computed over a pure interface summary. *)
+
+let to_iface (spec : Nic_spec.t) : Opendesc_analysis.Evolution.iface =
+  {
+    Opendesc_analysis.Evolution.ev_nic = spec.nic_name;
+    ev_paths =
+      List.map
+        (fun (p : Path.t) ->
+          {
+            Opendesc_analysis.Evolution.ev_index = p.p_index;
+            ev_size_bytes = Path.size p;
+            ev_fields =
+              List.map
+                (fun (f : Path.lfield) ->
+                  {
+                    Opendesc_analysis.Evolution.ev_name = f.l_name;
+                    ev_semantic = f.l_semantic;
+                    ev_bit_off = f.l_bit_off;
+                    ev_bits = f.l_bits;
+                  })
+                p.p_layout.fields;
+            ev_prov = p.p_prov;
+            ev_configs = p.p_assignments;
+          })
+        spec.paths;
+    ev_tx_sizes =
+      List.sort Stdlib.compare (List.map Descparser.size spec.tx_formats);
+  }
+
+let check (old_spec : Nic_spec.t) (new_spec : Nic_spec.t) =
+  Opendesc_analysis.Evolution.check (to_iface old_spec) (to_iface new_spec)
+
 let pp ppf changes =
   match changes with
   | [] -> Format.fprintf ppf "no interface changes@."

@@ -36,3 +36,12 @@ val pp_change : Format.formatter -> change -> unit
 
 val pp : Format.formatter -> change list -> unit
 (** Grouped report: breaking changes first. *)
+
+val to_iface : Nic_spec.t -> Opendesc_analysis.Evolution.iface
+(** The pure interface summary the symbolic evolution checker consumes. *)
+
+val check : Nic_spec.t -> Nic_spec.t -> Opendesc_analysis.Evolution.report
+(** [check old_rev new_rev]: the evolution classification — every change
+    tagged [Transparent]/[Recompile]/[Breaking], Breaking entries with a
+    concrete configuration witness. Supersedes {!compare} for tooling;
+    the flat {!change} list remains for programmatic consumers. *)

@@ -13,6 +13,7 @@ type t = {
   deparser : P4.Typecheck.control_def;
   ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
   paths : Path.t list;
+  pruning : Path.pruning;
   desc_parser : P4.Typecheck.parser_def option;
   tx_formats : Descparser.t list;
   notes : string;
@@ -58,9 +59,9 @@ let load ~name ~kind ?deparser ?(notes = "") p4_source =
       match find_deparser tenv ~requested:deparser with
       | Error e -> Error (Printf.sprintf "%s: %s" name e)
       | Ok dep -> (
-          match Path.enumerate tenv dep with
+          match Path.enumerate_pruned tenv dep with
           | Error e -> Error (Printf.sprintf "%s: %s" name e)
-          | Ok paths -> (
+          | Ok (paths, pruning) -> (
               let desc_parser = List.find_opt has_desc_in (P4.Typecheck.parsers tenv) in
               let tx_formats =
                 match desc_parser with
@@ -79,6 +80,7 @@ let load ~name ~kind ?deparser ?(notes = "") p4_source =
                       deparser = dep;
                       ctx = Context.find_param dep;
                       paths;
+                      pruning;
                       desc_parser;
                       tx_formats;
                       notes;

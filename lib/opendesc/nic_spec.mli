@@ -22,6 +22,8 @@ type t = {
   deparser : P4.Typecheck.control_def;
   ctx : (P4.Typecheck.cparam * P4.Typecheck.header_def) option;
   paths : Path.t list;  (** RX completion paths *)
+  pruning : Path.pruning;
+      (** symbolic feasibility census of the deparser's decision tree *)
   desc_parser : P4.Typecheck.parser_def option;
   tx_formats : Descparser.t list;  (** TX descriptor formats *)
   notes : string;

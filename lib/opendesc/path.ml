@@ -126,28 +126,135 @@ let emits_equal a b =
          ea = eb && ha.h_name = hb.h_name)
        a b
 
-let enumerate tenv (ctrl : P4.Typecheck.control_def) =
+type pruning = {
+  pr_syntactic : int;
+  pr_feasible : int;
+  pr_pruned : int;
+  pr_runs : int;
+  pr_configs : int;
+}
+
+(* Context fields that can influence a branch decision, computed as the
+   taint closure of every condition's read set through local-variable
+   definitions. Fields outside this set cannot change the emit sequence,
+   so one concrete run covers every assignment that agrees on the set. *)
+let influencing_fields (ctrl : P4.Typecheck.control_def) ~ctx_param_name =
+  let deps : (string list, string list list) Hashtbl.t = Hashtbl.create 8 in
+  let add_dep lhs rhs_paths =
+    let prev = Option.value ~default:[] (Hashtbl.find_opt deps lhs) in
+    Hashtbl.replace deps lhs (rhs_paths @ prev)
+  in
+  let cond_paths = ref [] in
+  let rec walk (s : P4.Ast.stmt) =
+    match s with
+    | P4.Ast.SIf (cond, then_b, else_b) ->
+        cond_paths := P4.Eval.paths_in cond @ !cond_paths;
+        List.iter walk then_b;
+        Option.iter (List.iter walk) else_b
+    | P4.Ast.SBlock b -> List.iter walk b
+    | P4.Ast.SAssign (lhs, rhs) -> (
+        match P4.Eval.path_of_expr lhs with
+        | Some p -> add_dep p (P4.Eval.paths_in rhs)
+        | None -> ())
+    | P4.Ast.SVar (_, name, init) ->
+        Option.iter (fun e -> add_dep [ name.P4.Ast.name ] (P4.Eval.paths_in e)) init
+    | P4.Ast.SConst (_, name, value) ->
+        add_dep [ name.P4.Ast.name ] (P4.Eval.paths_in value)
+    | P4.Ast.SCall _ | P4.Ast.SReturn _ | P4.Ast.SEmpty -> ()
+  in
+  List.iter walk ctrl.ct_body;
+  let seen : (string list, unit) Hashtbl.t = Hashtbl.create 8 in
+  let rec close p =
+    if not (Hashtbl.mem seen p) then begin
+      Hashtbl.add seen p ();
+      List.iter close (Option.value ~default:[] (Hashtbl.find_opt deps p))
+    end
+  in
+  List.iter close !cond_paths;
+  Hashtbl.fold
+    (fun p () acc ->
+      match p with
+      | [ root; field ] when root = ctx_param_name -> field :: acc
+      | _ -> acc)
+    seen []
+
+(* Symbolic leaf census of the deparser's decision tree: how many
+   syntactic completion paths exist, and how many of them the abstract
+   interpreter proves unreachable under every configuration and every
+   descriptor value. Purely informational here (the concrete walk below
+   only ever visits feasible paths); the counts feed the CLI, the bench
+   acceptance and [Nic_spec]. *)
+let pruning_stats tenv (ctrl : P4.Typecheck.control_def) ~runs ~configs =
+  let zero =
+    { pr_syntactic = 0; pr_feasible = 0; pr_pruned = 0; pr_runs = runs; pr_configs = configs }
+  in
+  match Opendesc_analysis.Dep_ir.of_control tenv ctrl with
+  | Error _ -> zero
+  | Ok ir ->
+      let base =
+        Opendesc_analysis.Symexec.base_env
+          ~consts:(P4.Typecheck.const_env tenv)
+          ~ctx:(Context.find_param ctrl) ~params:ctrl.ct_params ()
+      in
+      let sx = Opendesc_analysis.Symexec.exec ~base ir in
+      let total = List.length sx.Opendesc_analysis.Symexec.sx_leaves in
+      {
+        pr_syntactic = total;
+        pr_feasible = total - sx.Opendesc_analysis.Symexec.sx_pruned;
+        pr_pruned = sx.Opendesc_analysis.Symexec.sx_pruned;
+        pr_runs = runs;
+        pr_configs = configs;
+      }
+
+let enumerate_core ~memoize tenv (ctrl : P4.Typecheck.control_def) =
   match
     let out_name = Cfg.out_param ctrl in
     let scope = P4.Typecheck.scope_of_control tenv ctrl in
+    let ctx = Context.find_param ctrl in
     let assignments =
-      match Context.find_param ctrl with
+      match ctx with
       | None -> Ok [ [] ]
       | Some (_param, ctx_header) -> Context.enumerate ctx_header
     in
     let ctx_param_name =
-      match Context.find_param ctrl with Some (p, _) -> p.c_name | None -> "ctx"
+      match ctx with Some (p, _) -> p.c_name | None -> "ctx"
     in
     match assignments with
     | Error e -> Error e
     | Ok assignments ->
-        (* Execute under each assignment, then group equal emit sequences. *)
+        (* Execute under each assignment, then group equal emit sequences.
+           When memoizing, project each assignment onto the branch-
+           influencing context fields and run the deparser once per
+           projection: the full product is still enumerated (so per-path
+           configuration sets are exact and ordered as before) but the
+           number of concrete executions drops from |product| to
+           |projection|. *)
+        let infl =
+          if memoize then influencing_fields ctrl ~ctx_param_name else []
+        in
+        let project a = List.filter (fun (k, _) -> List.mem k infl) a in
+        let memo : (Context.assignment, (string * P4.Typecheck.header_def) list) Hashtbl.t =
+          Hashtbl.create 16
+        in
+        let n_runs = ref 0 in
+        let run a =
+          incr n_runs;
+          let ctx_env = Context.env_of ~param_name:ctx_param_name a in
+          run_assignment tenv ctrl ~out_name ~ctx_env scope
+        in
         let runs =
-          List.map
-            (fun a ->
-              let ctx_env = Context.env_of ~param_name:ctx_param_name a in
-              (a, run_assignment tenv ctrl ~out_name ~ctx_env scope))
-            assignments
+          if memoize then
+            List.map
+              (fun a ->
+                let key = project a in
+                match Hashtbl.find_opt memo key with
+                | Some emits -> (a, emits)
+                | None ->
+                    let emits = run a in
+                    Hashtbl.add memo key emits;
+                    (a, emits))
+              assignments
+          else List.map (fun a -> (a, run a)) assignments
         in
         let groups : (string * P4.Typecheck.header_def) list list ref = ref [] in
         let by_path = Hashtbl.create 8 in
@@ -163,22 +270,33 @@ let enumerate tenv (ctrl : P4.Typecheck.control_def) =
                 groups := !groups @ [ emits ];
                 Hashtbl.replace by_path (List.map fst emits) [ a ])
           runs;
+        let paths =
+          List.mapi
+            (fun i emits ->
+              {
+                p_index = i;
+                p_emits = emits;
+                p_layout = layout_of_emits emits;
+                p_prov = prov_of_emits emits;
+                p_assignments = List.rev (Hashtbl.find by_path (List.map fst emits));
+              })
+            !groups
+        in
         Ok
-          (List.mapi
-             (fun i emits ->
-               {
-                 p_index = i;
-                 p_emits = emits;
-                 p_layout = layout_of_emits emits;
-                 p_prov = prov_of_emits emits;
-                 p_assignments = List.rev (Hashtbl.find by_path (List.map fst emits));
-               })
-             !groups)
+          ( paths,
+            pruning_stats tenv ctrl ~runs:!n_runs
+              ~configs:(List.length assignments) )
   with
   | result -> result
   | exception Exec_error msg -> Error msg
   | exception Cfg.Analysis_error msg -> Error msg
   | exception P4.Typecheck.Type_error (msg, _) -> Error msg
+
+let enumerate_pruned tenv ctrl = enumerate_core ~memoize:true tenv ctrl
+let enumerate tenv ctrl = Result.map fst (enumerate_pruned tenv ctrl)
+
+let enumerate_product tenv ctrl =
+  Result.map fst (enumerate_core ~memoize:false tenv ctrl)
 
 let pp ppf t =
   Format.fprintf ppf "path#%d [%s] %dB prov={%s} cfgs=%d" t.p_index

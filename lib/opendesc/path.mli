@@ -49,11 +49,37 @@ val layout_of_emits : (string * P4.Typecheck.header_def) list -> layout
 (** Concatenate headers into an absolute field layout.
     @raise Exec_error when the total is not byte-aligned. *)
 
+(** How the symbolic engine reduced the enumeration work. *)
+type pruning = {
+  pr_syntactic : int;  (** root-to-leaf completion paths in the decision tree *)
+  pr_feasible : int;  (** leaves with a satisfiable path condition *)
+  pr_pruned : int;  (** leaves proved unreachable by abstract interpretation *)
+  pr_runs : int;  (** concrete deparser executions actually performed *)
+  pr_configs : int;  (** context configurations covered by those runs *)
+}
+
 val enumerate :
   P4.Typecheck.t -> P4.Typecheck.control_def -> (t list, string) result
 (** All distinct completion paths of a deparser. Errors when: the control
     lacks a [cmpt_out] parameter; a branch condition is not decidable
     from the context; an emitted expression is not a byte-aligned header;
-    or the context space is unbounded. *)
+    or the context space is unbounded.
+
+    The walk is memoized on the branch-influencing context fields (a
+    taint closure through locals), so the number of concrete executions
+    is the size of the projected configuration space, not the full
+    product — the result is identical to {!enumerate_product}. *)
+
+val enumerate_pruned :
+  P4.Typecheck.t ->
+  P4.Typecheck.control_def ->
+  (t list * pruning, string) result
+(** {!enumerate} plus the symbolic pruning census. *)
+
+val enumerate_product :
+  P4.Typecheck.t -> P4.Typecheck.control_def -> (t list, string) result
+(** Reference enumeration: one concrete execution per configuration in
+    the full cartesian product (the pre-pruning implementation). Kept for
+    differential testing and the bench's speedup measurement. *)
 
 val pp : Format.formatter -> t -> unit

@@ -25,6 +25,26 @@ let rec path_of_expr = function
       match path_of_expr e with Some p -> Some (p @ [ f.name ]) | None -> None)
   | _ -> None
 
+(* Every access path an expression reads, in syntactic order. An
+   lvalue-shaped expression contributes its own path; anything else
+   contributes the paths of its operands. Shared by the static-analysis
+   passes (taint closure, data-dependence) and the symbolic evaluator. *)
+let paths_in e =
+  let rec go e acc =
+    match path_of_expr e with
+    | Some p -> p :: acc
+    | None -> (
+        match e with
+        | Ast.EUnop (_, a) | Ast.ECast (_, a) -> go a acc
+        | Ast.EBinop (_, a, b) | Ast.EIndex (a, b) -> go a (go b acc)
+        | Ast.ETernary (a, b, c) -> go a (go b (go c acc))
+        | Ast.ECall (f, _, args) ->
+            List.fold_left (fun acc a -> go a acc) (go f acc) args
+        | Ast.EMember (b, _) -> go b acc
+        | _ -> acc)
+  in
+  go e []
+
 let truncate ~width v =
   if width >= 64 then v
   else Int64.logand v (Int64.sub (Int64.shift_left 1L width) 1L)
@@ -73,6 +93,8 @@ let arith op a b =
       | Ast.LOr -> VBool (x || y)
       | _ -> VUnknown)
   | _ -> VUnknown
+
+let arith_value = arith
 
 let rec eval (env : env) (e : Ast.expr) : value =
   match e with

@@ -30,6 +30,16 @@ val path_of_expr : Ast.expr -> string list option
 (** The access path of an lvalue-shaped expression ([a.b.c]), if it is
     one. *)
 
+val paths_in : Ast.expr -> string list list
+(** Every access path the expression reads (an lvalue-shaped
+    subexpression stops the descent and contributes its own path). *)
+
+val arith_value : Ast.binop -> value -> value -> value
+(** The evaluator's own binary arithmetic on already-evaluated operands
+    (width retention, wrap-at-width, unsigned comparisons). Exposed so
+    abstract interpreters can defer to the concrete semantics on
+    singleton operands instead of re-implementing them. *)
+
 val eval : env -> Ast.expr -> value
 (** Never raises on well-typed input; ill-typed operations (e.g. adding
     booleans) yield [VUnknown]. Division by zero is [VUnknown]. *)

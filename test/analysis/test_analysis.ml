@@ -317,6 +317,358 @@ let test_engine_paths_match_compiler () =
     (Nic_models.Catalog.all ~intent ())
 
 (* ------------------------------------------------------------------ *)
+(* Symbolic feasibility and certification (OD018–OD020). *)
+
+let test_od018_vacuous_runtime_guard () =
+  (* length is bit<16>, so `< 65536` is a tautology: data-dependent (the
+     concrete enumeration cannot decide it) but proved constant by the
+     interval analysis. *)
+  let ds =
+    analyze
+      (replace ~sub:"o.emit(pipe_meta.legacy);"
+         ~by:
+           "if (pipe_meta.legacy.length < 65536) { o.emit(pipe_meta.legacy); }"
+         newer)
+  in
+  assert_code ~severity:Dg.Warning "OD018" ds;
+  (* The guard's empty else-leaf is proved infeasible, so certification
+     must not count it as a completion the accessor could observe. *)
+  check ab "no OD020 on a vacuous guard" false (has "OD020" ds);
+  check ab "no OD008 (not configuration-decidable)" false (has "OD008" ds)
+
+let test_od019_genuinely_runtime_branch () =
+  (* status is runtime data and genuinely two-valued; both sides emit the
+     same header, so only the informational OD019 fires. *)
+  let ds =
+    analyze
+      (replace ~sub:"o.emit(pipe_meta.legacy);"
+         ~by:
+           "if (pipe_meta.legacy.status == 1) { o.emit(pipe_meta.legacy); } \
+            else { o.emit(pipe_meta.legacy); }"
+         newer)
+  in
+  assert_code ~severity:Dg.Info "OD019" ds;
+  check ab "no OD018" false (has "OD018" ds);
+  check ab "no OD020 (identical placements on both forks)" false
+    (has "OD020" ds)
+
+let test_od020_uncertifiable_accessor () =
+  (* Under use_rss=0 the emitted layout now depends on a runtime status
+     bit: rss/ip_id/ip_checksum appear in one feasible fork but not the
+     other, so their fixed-offset accessors cannot be certified. pkt_len
+     sits at bit 32 with 16 bits in BOTH headers, so it stays safe. *)
+  let ds =
+    analyze
+      (replace ~sub:"o.emit(pipe_meta.legacy);"
+         ~by:
+           "if (pipe_meta.legacy.status == 1) { o.emit(pipe_meta.rss); } else \
+            { o.emit(pipe_meta.legacy); }"
+         newer)
+  in
+  assert_code ~severity:Dg.Error "OD020" ds;
+  assert_code ~severity:Dg.Info "OD019" ds;
+  let od20 = List.filter (fun (d : Dg.t) -> d.d_code = "OD020") ds in
+  let mentions s (d : Dg.t) =
+    let n = String.length s and msg = d.d_msg in
+    let rec go i =
+      i + n <= String.length msg && (String.sub msg i n = s || go (i + 1))
+    in
+    go 0
+  in
+  check ab "rss is uncertifiable" true
+    (List.exists (mentions "\"rss\"") od20);
+  check ab "pkt_len stays certified" false
+    (List.exists (mentions "\"pkt_len\"") od20)
+
+(* ------------------------------------------------------------------ *)
+(* QCheck: abstract evaluation soundly over-approximates the concrete
+   semantics on every catalogue model. *)
+
+module A = Opendesc_analysis.Absdom
+module Sx = Opendesc_analysis.Symexec
+module Ir = Opendesc_analysis.Dep_ir
+
+let rec rtyp_leaf_widths prefix (t : P4.Typecheck.rtyp) acc =
+  match t with
+  | P4.Typecheck.RBit w -> (List.rev prefix, w) :: acc
+  | P4.Typecheck.RHeader h ->
+      List.fold_left
+        (fun acc (f : P4.Typecheck.field) ->
+          (List.rev (f.f_name :: prefix), f.f_bits) :: acc)
+        acc h.h_fields
+  | P4.Typecheck.RStruct s ->
+      List.fold_left
+        (fun acc (n, ty) -> rtyp_leaf_widths (n :: prefix) ty acc)
+        acc s.s_fields
+  | _ -> acc
+
+type fixture = {
+  fx_name : string;
+  fx_ir : Ir.t;
+  fx_sym : Sx.result;
+  fx_base : string list -> A.t;
+  fx_consts : P4.Eval.env;
+  fx_ctx_name : string;
+  fx_assignments : Opendesc.Context.assignment list;
+  fx_runtime : (string list * int) list;
+}
+
+let fixtures =
+  lazy
+    (List.filter_map
+       (fun (m : Nic_models.Model.t) ->
+         let spec = m.Nic_models.Model.spec in
+         let ctrl = spec.deparser in
+         match Ir.of_control spec.tenv ctrl with
+         | Error _ -> None
+         | Ok ir ->
+             let consts = P4.Typecheck.const_env spec.tenv in
+             let base =
+               Sx.base_env ~consts ~ctx:spec.ctx ~params:ctrl.ct_params ()
+             in
+             let ctx_name =
+               match spec.ctx with
+               | Some (p, _) -> p.P4.Typecheck.c_name
+               | None -> "ctx"
+             in
+             let assignments =
+               match spec.ctx with
+               | None -> [ [] ]
+               | Some (_, h) -> (
+                   match Opendesc.Context.enumerate h with
+                   | Ok a -> a
+                   | Error _ -> [ [] ])
+             in
+             let runtime =
+               List.concat_map
+                 (fun (p : P4.Typecheck.cparam) ->
+                   if p.c_name = ctx_name then []
+                   else rtyp_leaf_widths [ p.c_name ] p.c_typ [])
+                 ctrl.ct_params
+               |> List.filter (fun (_, w) -> w <= 64)
+             in
+             Some
+               {
+                 fx_name = spec.nic_name;
+                 fx_ir = ir;
+                 fx_sym = Sx.exec ~base ir;
+                 fx_base = base;
+                 fx_consts = consts;
+                 fx_ctx_name = ctx_name;
+                 fx_assignments = assignments;
+                 fx_runtime = runtime;
+               })
+       (Nic_models.Catalog.all ~intent:Nic_models.Catalog.fig1_intent ()))
+
+let concrete_env fx a (vals : int64 array) : P4.Eval.env =
+  let nvals = max 1 (Array.length vals) in
+  let runtime =
+    List.mapi
+      (fun i (path, w) ->
+        let raw = if Array.length vals = 0 then 0L else vals.(i mod nvals) in
+        let v =
+          if w >= 64 then raw
+          else Int64.logand raw (Int64.sub (Int64.shift_left 1L w) 1L)
+        in
+        (path, P4.Eval.vint ~width:w v))
+      fx.fx_runtime
+  in
+  let ctx_env = Opendesc.Context.env_of ~param_name:fx.fx_ctx_name a in
+  fun path ->
+    match List.assoc_opt path runtime with
+    | Some v -> Some v
+    | None -> (
+        match ctx_env path with Some v -> Some v | None -> fx.fx_consts path)
+
+let value_str = function
+  | P4.Eval.VInt { v; _ } -> Int64.to_string v
+  | P4.Eval.VBool b -> string_of_bool b
+  | P4.Eval.VUnknown -> "?"
+
+(* Replay the deparser concretely under a fully-valued environment,
+   recording each branch decision; mirrors Dep_ir.run without forking. *)
+exception Stop_walk
+exception Undecidable_walk
+
+let concrete_decisions fx env0 =
+  let locals : (string list, P4.Eval.value) Hashtbl.t = Hashtbl.create 8 in
+  let env path =
+    match Hashtbl.find_opt locals path with
+    | Some v -> Some v
+    | None -> env0 path
+  in
+  let decisions = ref [] in
+  let rec exec nodes = List.iter exec1 nodes
+  and exec1 = function
+    | Ir.NEmit _ | Ir.NOther -> ()
+    | Ir.NIf { i_id; i_cond; i_then; i_else } -> (
+        match P4.Eval.eval_bool env i_cond with
+        | Some b ->
+            decisions := (i_id, b) :: !decisions;
+            exec (if b then i_then else i_else)
+        | None -> raise Undecidable_walk)
+    | Ir.NAssign (l, r) -> (
+        match P4.Eval.path_of_expr l with
+        | Some p -> Hashtbl.replace locals p (P4.Eval.eval env r)
+        | None -> ())
+    | Ir.NDecl (n, init) ->
+        Hashtbl.replace locals [ n ]
+          (match init with
+          | Some e -> P4.Eval.eval env e
+          | None -> P4.Eval.VUnknown)
+    | Ir.NReturn -> raise Stop_walk
+  in
+  match exec fx.fx_ir.Ir.ir_nodes with
+  | () -> Some (List.rev !decisions)
+  | exception Stop_walk -> Some (List.rev !decisions)
+  | exception Undecidable_walk -> None
+
+let check_soundness fx a vals =
+  let env = concrete_env fx a vals in
+  (* (a) every branch predicate: concrete value ∈ abstract value, with
+     the unrefined base environment (VUnknown ∈ everything). *)
+  let sx_env = { Sx.e_base = fx.fx_base; e_over = [] } in
+  List.iter
+    (fun ((_, cond) : int * P4.Ast.expr) ->
+      let cv = P4.Eval.eval env cond in
+      let av = Sx.eval sx_env cond in
+      if not (A.mem_value cv av) then
+        QCheck.Test.fail_reportf
+          "%s: concrete %s escapes abstract %s for predicate %s" fx.fx_name
+          (value_str cv) (A.to_string av)
+          (P4.Pretty.expr_to_string cond))
+    fx.fx_ir.Ir.ir_ifs;
+  (* (b) the concretely-taken path lands on a feasible symbolic leaf:
+     pruning never removes a reachable completion. *)
+  match concrete_decisions fx env with
+  | None -> () (* an extern-driven predicate: nothing to compare *)
+  | Some ds -> (
+      let key = List.sort compare ds in
+      match
+        List.find_opt
+          (fun (l : Sx.leaf) -> List.sort compare l.Sx.lf_decisions = key)
+          fx.fx_sym.Sx.sx_leaves
+      with
+      | None ->
+          QCheck.Test.fail_reportf "%s: no symbolic leaf matches the concrete path"
+            fx.fx_name
+      | Some l ->
+          if not l.Sx.lf_feasible then
+            QCheck.Test.fail_reportf
+              "%s: concretely-reachable path was proved infeasible" fx.fx_name)
+
+let test_symexec_soundness =
+  QCheck.Test.make
+    ~name:"symbolic execution over-approximates concrete (whole catalogue)"
+    ~count:1000
+    QCheck.(pair small_nat (array_of_size (Gen.return 16) int64))
+    (fun (aidx, vals) ->
+      List.iter
+        (fun fx ->
+          let a =
+            List.nth fx.fx_assignments (aidx mod List.length fx.fx_assignments)
+          in
+          check_soundness fx a vals)
+        (Lazy.force fixtures);
+      true)
+
+(* ------------------------------------------------------------------ *)
+(* Evolution: Transparent / Recompile / Breaking with witnesses. *)
+
+module Ev = Opendesc_analysis.Evolution
+
+let load_spec name src =
+  Opendesc.Nic_spec.load_exn ~name ~kind:Opendesc.Nic_spec.Fixed_function src
+
+let test_resize_direction () =
+  (* Satellite contract: only narrowing is breaking, in both views. *)
+  check ab "Nic_diff: narrowing breaks" true
+    (Opendesc.Nic_diff.breaking
+       (Opendesc.Nic_diff.Field_resized
+          { semantic = "pkt_len"; from_width = 32; to_width = 16 }));
+  check ab "Nic_diff: widening does not" false
+    (Opendesc.Nic_diff.breaking
+       (Opendesc.Nic_diff.Field_resized
+          { semantic = "pkt_len"; from_width = 16; to_width = 32 }))
+
+let test_evolution_narrowing_breaks_with_witness () =
+  let old_spec = load_spec "rev-a" newer in
+  let narrowed =
+    load_spec "rev-b"
+      (replace ~sub:{|@semantic("pkt_len") bit<16> length;|}
+         ~by:{|@semantic("pkt_len") bit<8> length;
+  bit<8> pad;|} newer)
+  in
+  let report = Opendesc.Nic_diff.check old_spec narrowed in
+  check ab "breaking" true (Ev.breaking report);
+  let e =
+    List.find
+      (fun (e : Ev.entry) -> e.e_kind = "field_narrowed")
+      report.r_entries
+  in
+  check ab "class" true (e.e_class = Ev.Breaking);
+  (match e.e_witness with
+  | Some w ->
+      check ab "concrete witness selects the rss path" true
+        (w.w_config = [ ("use_rss", 1L) ])
+  | None -> Alcotest.fail "narrowing entry has no witness");
+  (* the same edit in the widening direction is only a recompile *)
+  let widened =
+    load_spec "rev-c"
+      (replace
+         ~sub:
+           {|@semantic("pkt_len")     bit<16> length;
+  bit<8> status;
+  bit<8> errors;|}
+         ~by:{|@semantic("pkt_len")     bit<32> length;|} newer)
+  in
+  let report = Opendesc.Nic_diff.check old_spec widened in
+  check ab "widening is not breaking" false (Ev.breaking report);
+  check ab "widening needs recompile" true (Ev.worst report = Ev.Recompile)
+
+let test_evolution_transparent_and_removed () =
+  let old_spec = load_spec "rev-a" newer in
+  (* vlan added to the RSS writeback: additive, old hosts unaffected. *)
+  let added =
+    load_spec "rev-b"
+      (replace
+         ~sub:{|bit<8> status;
+  bit<8> errors;
+}|}
+         ~by:{|@semantic("vlan") bit<16> vlan;
+}|}
+         newer)
+  in
+  let r = Opendesc.Nic_diff.check old_spec added in
+  check ab "additive change is transparent" true (Ev.worst r = Ev.Transparent);
+  (* ip_checksum dropped from the legacy writeback: breaking, witnessed
+     by the configuration that selects that path. *)
+  let removed =
+    load_spec "rev-b"
+      (replace ~sub:{|@semantic("ip_checksum") bit<16> csum;|}
+         ~by:{|bit<16> rsvd;|} newer)
+  in
+  let r = Opendesc.Nic_diff.check old_spec removed in
+  let e =
+    List.find (fun (e : Ev.entry) -> e.e_kind = "semantic_removed") r.r_entries
+  in
+  check ab "removal is breaking" true (e.e_class = Ev.Breaking);
+  (match e.e_witness with
+  | Some w -> check ab "witness is {use_rss=0}" true (w.w_config = [ ("use_rss", 0L) ])
+  | None -> Alcotest.fail "removal has no witness");
+  (* self-diff is empty and transparent *)
+  let self = Opendesc.Nic_diff.check old_spec old_spec in
+  check ai "self-diff has no entries" 0 (List.length self.r_entries);
+  check ab "self-diff is transparent" true (Ev.worst self = Ev.Transparent)
+
+let test_evolution_json_schema () =
+  let old_spec = load_spec "rev-a" newer in
+  let j = Ev.report_to_json (Opendesc.Nic_diff.check old_spec old_spec) in
+  check ab "schema tag" true
+    (j
+    = {|{"schema":"opendesc-diff-1","old":"rev-a","new":"rev-a","class":"transparent","entries":[]}|})
+
+(* ------------------------------------------------------------------ *)
 (* Diagnostic plumbing. *)
 
 let test_diagnostic_ordering_and_render () =
@@ -406,6 +758,25 @@ let () =
             test_intent_source_lints_without_deparser;
           Alcotest.test_case "paths match compiler" `Quick
             test_engine_paths_match_compiler;
+        ] );
+      ( "symbolic",
+        [
+          Alcotest.test_case "OD018 vacuous runtime guard" `Quick
+            test_od018_vacuous_runtime_guard;
+          Alcotest.test_case "OD019 genuinely runtime branch" `Quick
+            test_od019_genuinely_runtime_branch;
+          Alcotest.test_case "OD020 uncertifiable accessor" `Quick
+            test_od020_uncertifiable_accessor;
+          QCheck_alcotest.to_alcotest test_symexec_soundness;
+        ] );
+      ( "evolution",
+        [
+          Alcotest.test_case "resize direction" `Quick test_resize_direction;
+          Alcotest.test_case "narrowing breaks with witness" `Quick
+            test_evolution_narrowing_breaks_with_witness;
+          Alcotest.test_case "transparent and removed" `Quick
+            test_evolution_transparent_and_removed;
+          Alcotest.test_case "json schema" `Quick test_evolution_json_schema;
         ] );
       ( "diagnostics",
         [

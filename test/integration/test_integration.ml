@@ -221,6 +221,56 @@ let test_nic_diff_report_renders () =
   in
   check ab "mentions recompilation" true (contains s "recompilation")
 
+(* ------------------------------------------------------------------ *)
+(* Symbolic pruning: the memoized, feasibility-pruned enumeration must be
+   observationally identical to the brute-force configuration product. *)
+
+let test_memoized_enumeration_identical () =
+  List.iter
+    (fun (m : Nic_models.Model.t) ->
+      let spec = m.spec in
+      match Path.enumerate_product spec.tenv spec.deparser with
+      | Error e -> Alcotest.failf "%s: %s" spec.nic_name e
+      | Ok product ->
+          check ab (spec.nic_name ^ ": identical paths") true
+            (Stdlib.compare product spec.paths = 0))
+    (Nic_models.Catalog.all ())
+
+let test_qdma_pruning_census () =
+  let models = Nic_models.Catalog.all () in
+  let m = Option.get (Nic_models.Catalog.find "qdma-programmable" models) in
+  let p = m.spec.pruning in
+  check ab "at least one leaf proved infeasible" true (p.Path.pr_pruned >= 1);
+  check ai "census adds up" p.Path.pr_syntactic
+    (p.Path.pr_feasible + p.Path.pr_pruned);
+  check ab "memoization never runs more than the product" true
+    (p.Path.pr_runs <= p.Path.pr_configs)
+
+let test_accessor_certified_ranges () =
+  (* Synthesized accessors carry the value range proved by the domain. *)
+  let _, c = compile_for "e1000-newer" in
+  let csum =
+    match List.assoc "ip_checksum" c.bindings with
+    | Compile.Hardware a -> a
+    | Compile.Software _ -> Alcotest.fail "ip_checksum is hardware here"
+  in
+  check ab "16-bit field range" true (csum.a_range = (0L, 0xFFFFL));
+  let lf =
+    {
+      Path.l_name = "flag";
+      l_header = "h";
+      l_semantic = Some "flag";
+      l_bit_off = 0;
+      l_bits = 8;
+      l_span = P4.Loc.dummy;
+    }
+  in
+  let clamped = Accessor.of_lfield ~registry_bits:1 lf in
+  check ab "registry clamps the certified range" true
+    (clamped.a_range = (0L, 1L));
+  let blob = Accessor.of_lfield { lf with Path.l_bits = 128 } in
+  check ab "blob fields carry no range" true (blob.a_range = (0L, 0L))
+
 (* New application-defined semantic: declared in the intent with @cost,
    implemented in software, offloaded only by the programmable NIC. *)
 let test_custom_semantic_lifecycle () =
@@ -445,6 +495,14 @@ let () =
           Alcotest.test_case "firmware diff" `Quick test_nic_diff_firmware_revisions;
           Alcotest.test_case "diff identity" `Quick test_nic_diff_identity;
           Alcotest.test_case "diff report" `Quick test_nic_diff_report_renders;
+        ] );
+      ( "pruning",
+        [
+          Alcotest.test_case "memoized = product" `Quick
+            test_memoized_enumeration_identical;
+          Alcotest.test_case "qdma census" `Quick test_qdma_pruning_census;
+          Alcotest.test_case "certified ranges" `Quick
+            test_accessor_certified_ranges;
         ] );
       ( "validation",
         [
