@@ -925,6 +925,85 @@ let lint_cmd =
         (const run $ targets_arg $ semantics_arg $ intent_arg $ werror_arg
        $ json_arg))
 
+(* --- fuzz ---------------------------------------------------------- *)
+
+let fuzz_cmd =
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Campaign seed. Every spec, every random descriptor and every \
+                shrink replays bit-for-bit from it.")
+  in
+  let count_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "count" ] ~docv:"N" ~doc:"Number of specs to generate.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable JSON report (schema opendesc-fuzz-1).")
+  in
+  let out_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "out" ] ~docv:"DIR"
+          ~doc:"Also write every generated spec to $(docv)/<name>.p4 (how \
+                corpus fixtures are minted).")
+  in
+  let shrink_budget_arg =
+    Arg.(
+      value & opt int 200
+      & info [ "shrink-budget" ] ~docv:"N"
+          ~doc:"Oracle evaluations the shrinker may spend per failure.")
+  in
+  let run seed count json out shrink_budget =
+    let on_spec =
+      Option.map
+        (fun dir ->
+          if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+          fun _ (sp : Opendesc_fuzz.Spec.t) src ->
+            let path = Filename.concat dir (sp.sp_name ^ ".p4") in
+            let oc = open_out path in
+            Fun.protect
+              ~finally:(fun () -> close_out oc)
+              (fun () -> output_string oc src))
+        out
+    in
+    let report =
+      Opendesc_fuzz.Campaign.run ?on_spec ~shrink_budget
+        ~seed:(Int64.of_int seed) ~count ()
+    in
+    if json then print_endline (Opendesc_fuzz.Campaign.to_json report)
+    else print_string (Opendesc_fuzz.Campaign.summary report);
+    if report.cp_failures = [] then `Ok ()
+    else
+      `Error
+        ( false,
+          Printf.sprintf "%d of %d fuzzed specs failed the differential property"
+            (List.length report.cp_failures) count )
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:"Differential-fuzz the toolchain with generated deparser specs."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Generates random-but-valid NIC descriptions from a seeded \
+              grammar and pushes each through the full stack: typecheck, \
+              lint, symbolic-execution soundness, compile, and a three-way \
+              byte-identical decode of random and device-emitted completion \
+              records, plus a pretty-print/reparse fixpoint. Failing specs \
+              are greedily shrunk to minimal counterexamples.";
+         ])
+    Term.(
+      ret
+        (const run $ seed_arg $ count_arg $ json_arg $ out_arg
+       $ shrink_budget_arg))
+
 (* --- shims --------------------------------------------------------- *)
 
 let shims_cmd =
@@ -963,7 +1042,7 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; fuzz_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

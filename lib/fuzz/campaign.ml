@@ -1,0 +1,141 @@
+type failure_report = {
+  fr_index : int;
+  fr_seed : int64;
+  fr_name : string;
+  fr_failure : Oracle.failure;
+  fr_shrunk : Spec.t;
+  fr_shrunk_source : string;
+  fr_shrunk_failure : Oracle.failure;
+  fr_shrink_steps : int;
+}
+
+type t = {
+  cp_seed : int64;
+  cp_count : int;
+  cp_passed : int;
+  cp_failures : failure_report list;
+  cp_bounds : Gen.bounds;
+  cp_total_paths : int;
+  cp_total_configs : int;
+  cp_max_bytes : int;
+  cp_sw_bound : int;
+  cp_digest : int32;
+}
+
+let digest_string crc s =
+  let b = Bytes.of_string s in
+  Softnic.Crc32.digest ~crc b ~pos:0 ~len:(Bytes.length b)
+
+let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
+  let passed = ref 0 in
+  let failures = ref [] in
+  let paths = ref 0 and configs = ref 0 and max_bytes = ref 0 and sw = ref 0 in
+  let crc = ref 0xFFFFFFFFl in
+  for index = 0 to count - 1 do
+    let sseed = Gen.spec_seed ~seed ~index in
+    let name = Printf.sprintf "fz%04d" index in
+    let sp = Gen.generate ~bounds ~seed:sseed ~name () in
+    let src = Spec.render sp in
+    crc := digest_string !crc src;
+    (match on_spec with Some f -> f index sp src | None -> ());
+    match Oracle.check ~seed:sseed sp with
+    | Ok st ->
+        incr passed;
+        paths := !paths + st.Oracle.st_paths;
+        configs := !configs + st.Oracle.st_configs;
+        max_bytes := max !max_bytes st.Oracle.st_max_bytes;
+        sw := !sw + st.Oracle.st_sw_bound
+    | Error fl ->
+        let still_fails s = Result.is_error (Oracle.check ~seed:sseed s) in
+        let r = Shrink.shrink ?budget:shrink_budget ~still_fails sp in
+        let shrunk_failure =
+          match Oracle.check ~seed:sseed r.Shrink.sh_spec with
+          | Error f -> f
+          | Ok _ -> fl (* budget race: keep the original report *)
+        in
+        failures :=
+          {
+            fr_index = index;
+            fr_seed = sseed;
+            fr_name = name;
+            fr_failure = fl;
+            fr_shrunk = r.Shrink.sh_spec;
+            fr_shrunk_source = Spec.render r.Shrink.sh_spec;
+            fr_shrunk_failure = shrunk_failure;
+            fr_shrink_steps = r.Shrink.sh_steps;
+          }
+          :: !failures
+  done;
+  {
+    cp_seed = seed;
+    cp_count = count;
+    cp_passed = !passed;
+    cp_failures = List.rev !failures;
+    cp_bounds = bounds;
+    cp_total_paths = !paths;
+    cp_total_configs = !configs;
+    cp_max_bytes = !max_bytes;
+    cp_sw_bound = !sw;
+    cp_digest = !crc;
+  }
+
+let esc = Opendesc_analysis.Diagnostic.json_escape
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"opendesc-fuzz-1\",\n";
+  add "  \"seed\": %Ld,\n" t.cp_seed;
+  add "  \"count\": %d,\n" t.cp_count;
+  add "  \"passed\": %d,\n" t.cp_passed;
+  add "  \"failed\": %d,\n" (List.length t.cp_failures);
+  let b = t.cp_bounds in
+  add
+    "  \"bounds\": { \"max_ctx_fields\": %d, \"max_depth\": %d, \
+     \"max_headers\": %d, \"max_fields\": %d, \"max_emits\": %d, \
+     \"max_configs\": %d },\n"
+    b.Gen.b_max_ctx b.Gen.b_max_depth b.Gen.b_max_headers b.Gen.b_max_fields
+    b.Gen.b_max_emits b.Gen.b_max_configs;
+  add
+    "  \"totals\": { \"paths\": %d, \"configs\": %d, \"max_path_bytes\": %d, \
+     \"software_bound\": %d },\n"
+    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_sw_bound;
+  add "  \"source_digest\": \"0x%08lx\",\n" t.cp_digest;
+  add "  \"failures\": [%s\n  ]\n}"
+    (String.concat ","
+       (List.map
+          (fun fr ->
+            Printf.sprintf
+              "\n    { \"index\": %d, \"seed\": \"0x%016Lx\", \"name\": \
+               \"%s\", \"stage\": \"%s\", \"message\": \"%s\", \
+               \"shrink_steps\": %d, \"shrunk_stage\": \"%s\", \
+               \"shrunk_message\": \"%s\", \"shrunk_source\": \"%s\" }"
+              fr.fr_index fr.fr_seed (esc fr.fr_name)
+              (esc fr.fr_failure.Oracle.fl_stage)
+              (esc fr.fr_failure.Oracle.fl_message)
+              fr.fr_shrink_steps
+              (esc fr.fr_shrunk_failure.Oracle.fl_stage)
+              (esc fr.fr_shrunk_failure.Oracle.fl_message)
+              (esc fr.fr_shrunk_source))
+          t.cp_failures));
+  Buffer.contents buf
+
+let summary t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "fuzz: seed %Ld, %d specs: %d passed, %d failed\n" t.cp_seed t.cp_count
+    t.cp_passed
+    (List.length t.cp_failures);
+  add "      %d paths, %d configs, largest completion %d B, digest 0x%08lx\n"
+    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_digest;
+  List.iter
+    (fun fr ->
+      add "  FAIL %s (seed 0x%016Lx) at %s: %s\n" fr.fr_name fr.fr_seed
+        fr.fr_failure.Oracle.fl_stage fr.fr_failure.Oracle.fl_message;
+      add "    shrunk in %d step(s) to (%s: %s):\n" fr.fr_shrink_steps
+        fr.fr_shrunk_failure.Oracle.fl_stage
+        fr.fr_shrunk_failure.Oracle.fl_message;
+      String.split_on_char '\n' fr.fr_shrunk_source
+      |> List.iter (fun l -> add "    | %s\n" l))
+    t.cp_failures;
+  Buffer.contents buf

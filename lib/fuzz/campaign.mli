@@ -1,0 +1,51 @@
+(** A fuzzing campaign: generate, check, shrink, report.
+
+    [run ~seed ~count] draws [count] specs from the seed (each with an
+    independently derived stream, see {!Gen.spec_seed}), pushes every
+    one through {!Oracle.check}, and greedily shrinks any failure to a
+    minimal counterexample. The whole campaign — generation, oracle
+    randomness, shrinking — is a pure function of (seed, count,
+    bounds), so a report is replayable bit-for-bit and its JSON form
+    can be a golden file. *)
+
+type failure_report = {
+  fr_index : int;
+  fr_seed : int64;  (** derived spec seed; replays this member alone *)
+  fr_name : string;
+  fr_failure : Oracle.failure;  (** first failing stage of the original *)
+  fr_shrunk : Spec.t;
+  fr_shrunk_source : string;  (** render of the minimized spec — what gets
+                                  pinned into [test/fuzz/corpus/] *)
+  fr_shrunk_failure : Oracle.failure;
+  fr_shrink_steps : int;
+}
+
+type t = {
+  cp_seed : int64;
+  cp_count : int;
+  cp_passed : int;
+  cp_failures : failure_report list;
+  cp_bounds : Gen.bounds;
+  cp_total_paths : int;
+  cp_total_configs : int;
+  cp_max_bytes : int;
+  cp_sw_bound : int;
+  cp_digest : int32;  (** CRC-32 over every rendered source, in order *)
+}
+
+val run :
+  ?bounds:Gen.bounds ->
+  ?shrink_budget:int ->
+  ?on_spec:(int -> Spec.t -> string -> unit) ->
+  seed:int64 ->
+  count:int ->
+  unit ->
+  t
+(** [on_spec index spec source] fires for every generated spec before
+    it is checked (the CLI's [--out] corpus dump hook). *)
+
+val to_json : t -> string
+(** Schema [opendesc-fuzz-1]; every field deterministic. *)
+
+val summary : t -> string
+(** Human-readable multi-line summary, shrunk counterexamples included. *)

@@ -1,0 +1,122 @@
+type result = { sh_spec : Spec.t; sh_steps : int; sh_calls : int }
+
+let remove_nth i l = List.filteri (fun j _ -> j <> i) l
+
+(* Every tree with one branch replaced by a subtree. *)
+let rec tree_cuts (t : Spec.tree) =
+  match t with
+  | Spec.Leaf _ -> []
+  | Spec.Branch (c, th, el) ->
+      (th :: el :: List.map (fun th' -> Spec.Branch (c, th', el)) (tree_cuts th))
+      @ List.map (fun el' -> Spec.Branch (c, th, el')) (tree_cuts el)
+
+(* Every tree with one emit removed from a multi-emit leaf. *)
+let rec emit_drops (t : Spec.tree) =
+  match t with
+  | Spec.Leaf ms when List.length ms >= 2 ->
+      List.mapi (fun i _ -> Spec.Leaf (remove_nth i ms)) ms
+  | Spec.Leaf _ -> []
+  | Spec.Branch (c, th, el) ->
+      List.map (fun th' -> Spec.Branch (c, th', el)) (emit_drops th)
+      @ List.map (fun el' -> Spec.Branch (c, th, el')) (emit_drops el)
+
+let map_header sp i f =
+  {
+    sp with
+    Spec.sp_headers =
+      List.mapi (fun j h -> if j = i then f h else h) sp.Spec.sp_headers;
+  }
+
+let candidates (sp : Spec.t) =
+  let with_tree t = { sp with Spec.sp_tree = t } in
+  let cuts = List.map with_tree (tree_cuts sp.sp_tree) in
+  let emits = List.map with_tree (emit_drops sp.sp_tree) in
+  let field_drops =
+    List.concat
+      (List.mapi
+         (fun i (h : Spec.header) ->
+           if List.length h.h_fields < 2 then []
+           else
+             List.mapi
+               (fun j _ ->
+                 map_header sp i (fun h ->
+                     { h with Spec.h_fields = remove_nth j h.h_fields }))
+               h.h_fields)
+         sp.sp_headers)
+  in
+  let semantic_drops =
+    List.concat
+      (List.mapi
+         (fun i (h : Spec.header) ->
+           List.concat
+             (List.mapi
+                (fun j (f : Spec.field) ->
+                  if f.f_semantic = None then []
+                  else
+                    [
+                      map_header sp i (fun h ->
+                          {
+                            h with
+                            Spec.h_fields =
+                              List.mapi
+                                (fun k f ->
+                                  if k = j then { f with Spec.f_semantic = None }
+                                  else f)
+                                h.h_fields;
+                          });
+                    ])
+                h.h_fields))
+         sp.sp_headers)
+  in
+  let width_shrinks target =
+    List.concat
+      (List.mapi
+         (fun i (h : Spec.header) ->
+           List.concat
+             (List.mapi
+                (fun j (f : Spec.field) ->
+                  if f.f_bits <= target then []
+                  else
+                    [
+                      map_header sp i (fun h ->
+                          {
+                            h with
+                            Spec.h_fields =
+                              List.mapi
+                                (fun k f ->
+                                  if k = j then { f with Spec.f_bits = target }
+                                  else f)
+                                h.h_fields;
+                          });
+                    ])
+                h.h_fields))
+         sp.sp_headers)
+  in
+  let slot_drop =
+    match sp.sp_slot with Some _ -> [ { sp with Spec.sp_slot = None } ] | None -> []
+  in
+  List.map Spec.normalize
+    (cuts @ emits @ field_drops @ semantic_drops @ width_shrinks 8
+   @ width_shrinks 1 @ slot_drop)
+
+let shrink ?(budget = 200) ~still_fails sp =
+  let calls = ref 0 in
+  let steps = ref 0 in
+  let try_one c =
+    if !calls >= budget then false
+    else begin
+      incr calls;
+      still_fails c
+    end
+  in
+  let rec go sp =
+    if !calls >= budget then sp
+    else
+      match List.find_opt try_one (candidates sp) with
+      | Some smaller ->
+          incr steps;
+          go smaller
+      | None -> sp
+  in
+  let final = go sp in
+  { sh_spec = final; sh_steps = !steps; sh_calls = !calls }

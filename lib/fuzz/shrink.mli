@@ -1,0 +1,26 @@
+(** Greedy structural minimization of a failing spec.
+
+    Candidates are tried big-cuts-first — replace a branch by one of
+    its subtrees, drop an emit, drop a field, drop a semantic, narrow a
+    width, drop the slot pragma — each followed by {!Spec.normalize} so
+    dead headers and context fields disappear with the cut that
+    orphaned them. The loop takes the first candidate that still fails
+    and restarts, so the result is a local minimum: no single edit
+    keeps it failing and makes it smaller.
+
+    Shrinking draws no randomness: the same failing spec and predicate
+    always minimize to the same counterexample, which is what lets a
+    shrunk spec be pinned as a corpus fixture verbatim. *)
+
+type result = {
+  sh_spec : Spec.t;  (** the minimized, still-failing spec *)
+  sh_steps : int;  (** accepted edits *)
+  sh_calls : int;  (** predicate evaluations spent *)
+}
+
+val candidates : Spec.t -> Spec.t list
+(** All one-edit reductions, in the order the loop tries them. *)
+
+val shrink : ?budget:int -> still_fails:(Spec.t -> bool) -> Spec.t -> result
+(** [shrink ~still_fails sp] assumes [still_fails sp] holds. [budget]
+    caps predicate calls (default 200). *)

@@ -1,5 +1,25 @@
 let fpf = Format.fprintf
 
+(* The P4 lexer only understands backslash-n, -t, -quote and
+   -backslash escapes (anything else after a backslash is taken
+   verbatim); OCaml's %S would emit decimal escapes like backslash-007
+   that reparse as the three characters 007. Print exactly the escapes
+   the lexer reads back. *)
+let escape_string s =
+  let buf = Buffer.create (String.length s + 2) in
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"';
+  Buffer.contents buf
+
 let unop_str = function Ast.Neg -> "-" | Ast.BitNot -> "~" | Ast.LNot -> "!"
 
 let binop_str = function
@@ -42,7 +62,7 @@ and expr ppf = function
       fpf ppf "%d%c%Ld" w (if signed then 's' else 'w') value
   | Ast.EInt { value; _ } -> fpf ppf "%Ld" value
   | Ast.EBool b -> fpf ppf "%b" b
-  | Ast.EString s -> fpf ppf "%S" s
+  | Ast.EString s -> fpf ppf "%s" (escape_string s)
   | Ast.EIdent i -> fpf ppf "%s" i.name
   | Ast.EMember (e, f) -> fpf ppf "%a.%s" postfix_base e f.name
   | Ast.EIndex (e, i) -> fpf ppf "%a[%a]" postfix_base e expr i
@@ -73,7 +93,7 @@ and postfix_base ppf e =
 
 let annotation ppf (a : Ast.annotation) =
   let arg ppf = function
-    | Ast.AString s -> fpf ppf "%S" s
+    | Ast.AString s -> fpf ppf "%s" (escape_string s)
     | Ast.AInt i -> fpf ppf "%Ld" i
     | Ast.AIdent s -> fpf ppf "%s" s
   in

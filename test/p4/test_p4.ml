@@ -352,6 +352,14 @@ package Pipeline<H, M>(MainParser p, MainControl c, MainDeparser d);
 let gen_expr =
   let open QCheck.Gen in
   let ident_g = oneofl [ "a"; "b"; "ctx"; "meta"; "x1" ] in
+  (* Strings draw from a pool heavy on the characters whose escaping
+     can go wrong: quotes, backslashes, the two named escapes, and a
+     control character OCaml's %S would print as a decimal escape the
+     P4 lexer does not understand. *)
+  let string_g =
+    string_size ~gen:(oneofl [ 'a'; 'z'; '0'; ' '; '"'; '\\'; '\n'; '\t'; '\007' ])
+      (int_bound 8)
+  in
   sized (fun n ->
       fix
         (fun self n ->
@@ -365,6 +373,7 @@ let gen_expr =
                       { value = Int64.of_int (abs i); width = Some (1 + (abs w mod 32)); signed = false })
                   (pair small_int small_int);
                 map (fun b -> Ast.EBool b) bool;
+                map (fun s -> Ast.EString s) string_g;
                 map (fun s -> Ast.EIdent (Ast.ident s)) ident_g;
               ]
           else
@@ -382,6 +391,21 @@ let gen_expr =
                          Le; Ge; Shl; Shr; Concat;
                        ])
                   (pair sub sub);
+                (* Casts only to built-in type heads: the parser reads
+                   (user_t)(x) as a call, so named-type casts do not
+                   round-trip by design. *)
+                map2
+                  (fun w e ->
+                    let width =
+                      Ast.EInt
+                        {
+                          value = Int64.of_int (1 + (abs w mod 64));
+                          width = None;
+                          signed = false;
+                        }
+                    in
+                    Ast.ECast (Ast.TBit width, e))
+                  small_int sub;
                 map (fun e -> Ast.EUnop (Ast.LNot, e)) sub;
                 map (fun e -> Ast.EUnop (Ast.BitNot, e)) sub;
                 map3 (fun c a b -> Ast.ETernary (c, a, b)) sub sub sub;
@@ -396,6 +420,31 @@ let prop_expr_roundtrip =
       match Parser.parse_expr printed with
       | e2 -> Ast.equal_expr e e2
       | exception _ -> false)
+
+(* Regression: Pretty used OCaml's %S for string literals, which emits
+   decimal escapes (\007) the P4 lexer reads back as three characters.
+   Only quote, backslash, newline and tab have named escapes; every
+   other byte must be printed raw. *)
+let test_string_literal_escaping () =
+  let strings =
+    [ "plain"; "quo\"te"; "back\\slash"; "tab\there"; "line\nbreak"; "bell\007raw"; "" ]
+  in
+  List.iter
+    (fun s ->
+      let e = Ast.EString s in
+      let printed = Pretty.expr_to_string e in
+      match Parser.parse_expr printed with
+      | Ast.EString s2 ->
+          check astr (Printf.sprintf "roundtrip of %S" s) s s2
+      | _ -> Alcotest.fail (Printf.sprintf "%S did not reparse to a string" s))
+    strings
+
+let test_annotation_string_escaping () =
+  let src = "@semantic(\"odd\\\\name\\\"x\") header h_t { bit<8> a; }" in
+  let ast1 = Parser.parse_program src in
+  let printed = Pretty.program_to_string ast1 in
+  let ast2 = Parser.parse_program printed in
+  check ab "annotation argument roundtrips" true (Ast.equal_program ast1 ast2)
 
 (* ------------------------------------------------------------------ *)
 (* Error reporting quality: every malformed program must fail with a
@@ -666,6 +715,10 @@ let () =
           Alcotest.test_case "concat" `Quick test_expr_concat;
           Alcotest.test_case "unops" `Quick test_expr_unops;
           Alcotest.test_case "error position" `Quick test_parse_error_position;
+          Alcotest.test_case "string literal escaping" `Quick
+            test_string_literal_escaping;
+          Alcotest.test_case "annotation string escaping" `Quick
+            test_annotation_string_escaping;
         ]
         @ qsuite [ prop_expr_roundtrip ] );
       ( "decls",
