@@ -850,6 +850,31 @@ let feasibility_pruning () =
 
 let parallel_domains = [ 1; 2; 4 ]
 
+(* Each domain point runs two legs. The {e accounted} leg (account=true)
+   carries the full cost model and yields the deterministic model_mpps
+   numbers — one run suffices because modelled cycles do not depend on
+   the host. The {e hot} leg (account=false, pregen=true) is the
+   allocation-free byte path the wall-clock and GC gates measure; it is
+   repeated [hot_reps] times and the minimum effective wall is kept,
+   the standard noise-robust estimator for a timing benchmark.
+
+   The wall gate compares {e effective} wall — the busy-time critical
+   path (packet-weighted median per-packet chunk cost times packets, per
+   domain; see Parallel.robust_busy) — not spawn-to-join wall, because
+   on a host with fewer cores than domains the spawn-to-join clock
+   cannot improve no matter how good the code is. Spawn-to-join speedup
+   is still reported, informationally. *)
+
+let hot_reps = 3
+let minor_words_budget = 400.0
+
+type parallel_point = {
+  pp_domains : int;
+  pp_model : Driver.Parallel.result;  (* accounted leg *)
+  pp_hot : Driver.Parallel.result;  (* best-of-[hot_reps] hot leg *)
+  pp_minor_worst : float;  (* max minor words/pkt across hot reps *)
+}
+
 let parallel_sweep () =
   Bench_util.section
     "PARALLEL_SWEEP. Domain-parallel multi-queue datapath: speedup vs domains";
@@ -859,88 +884,129 @@ let parallel_sweep () =
   let compiled = Opendesc.Cache.run_exn ~alpha:0.05 ~intent model.spec in
   let queues = 4 and pkts = 65536 in
   let hw_domains = Domain.recommended_domain_count () in
+  let run_one ~domains ~account =
+    let mq =
+      Driver.Mq.create_exn ~queue_depth:1024
+        ~configs:(Array.make queues compiled.config)
+        (fun () -> Nic_models.Mlx5.model ())
+    in
+    Driver.Parallel.run ~domains ~batch:64 ~ring_capacity:4096 ~account
+      ~pregen:true ~mq
+      ~stack:(fun _ -> Driver.Hoststacks.opendesc_batched ~compiled)
+      ~pkts
+      ~workload:
+        (Packet.Workload.make ~seed:61L ~flows:64 Packet.Workload.Min_size)
+      ()
+  in
   let points =
     List.map
       (fun domains ->
-        let mq =
-          Driver.Mq.create_exn ~queue_depth:1024
-            ~configs:(Array.make queues compiled.config)
-            (fun () -> Nic_models.Mlx5.model ())
-        in
-        let r =
-          Driver.Parallel.run ~domains ~batch:64 ~ring_capacity:4096 ~mq
-            ~stack:(fun _ -> Driver.Hoststacks.opendesc_batched ~compiled)
-            ~pkts
-            ~workload:(Packet.Workload.make ~seed:61L ~flows:64 Packet.Workload.Min_size)
-            ()
-        in
-        (domains, r))
+        let pp_model = run_one ~domains ~account:true in
+        let best = ref (run_one ~domains ~account:false) in
+        let worst_minor = ref !best.Driver.Parallel.minor_words_per_pkt in
+        for _ = 2 to hot_reps do
+          let r = run_one ~domains ~account:false in
+          worst_minor := Float.max !worst_minor r.minor_words_per_pkt;
+          if r.eff_wall_s < !best.eff_wall_s then best := r
+        done;
+        { pp_domains = domains; pp_model; pp_hot = !best;
+          pp_minor_worst = !worst_minor })
       parallel_domains
   in
-  (* Wall-clock is honest but depends on the host's core count; the
-     critical-path model (pkts over the busiest domain's cycle total) is
-     deterministic, so it is what the acceptance gate checks everywhere.
-     The wall-clock gate only arms when the host actually has the cores. *)
   let model_mpps (r : Driver.Parallel.result) =
     let crit = Array.fold_left max 0.0 r.domain_cycles in
     if crit = 0.0 then 0.0
     else Driver.Cost.pps_of_cycles (crit /. float_of_int r.pkts) /. 1e6
   in
-  Printf.printf "%7s %10s %10s %10s %12s %9s %6s\n" "domains" "wall_s"
-    "wall_mpps" "model_mpps" "crit_cycles" "stranded" "drops";
+  let eff_mpps (r : Driver.Parallel.result) =
+    float_of_int r.pkts /. r.eff_wall_s /. 1e6
+  in
+  Printf.printf "%7s %8s %10s %9s %10s %9s %8s %8s %7s\n" "domains" "wall_s"
+    "eff_wall_s" "eff_mpps" "model_mpps" "minor/pkt" "spins" "parks" "wakes";
   List.iter
-    (fun (d, (r : Driver.Parallel.result)) ->
-      Printf.printf "%7d %10.3f %10.2f %10.2f %12.0f %9d %6d\n" d r.wall_s
-        (float_of_int r.pkts /. r.wall_s /. 1e6)
-        (model_mpps r)
-        (Array.fold_left max 0.0 r.domain_cycles)
-        r.stranded r.drops)
+    (fun p ->
+      let h = p.pp_hot in
+      Printf.printf "%7d %8.3f %10.3f %9.2f %10.2f %9.1f %8d %8d %7d\n"
+        p.pp_domains h.wall_s h.eff_wall_s (eff_mpps h) (model_mpps p.pp_model)
+        h.minor_words_per_pkt h.stats.Driver.Stats.spins
+        h.stats.Driver.Stats.parks h.stats.Driver.Stats.wakes)
     points;
-  let r1 = List.assoc 1 points and r4 = List.assoc 4 points in
-  let model_speedup = model_mpps r4 /. model_mpps r1 in
-  let wall_speedup = (float_of_int r4.pkts /. r4.wall_s)
-                     /. (float_of_int r1.pkts /. r1.wall_s) in
-  let wall_enforced = hw_domains >= 4 in
+  let find d = List.find (fun p -> p.pp_domains = d) points in
+  let p1 = find 1 and p4 = find 4 in
+  let model_speedup = model_mpps p4.pp_model /. model_mpps p1.pp_model in
+  let wall_speedup = p1.pp_hot.eff_wall_s /. p4.pp_hot.eff_wall_s in
+  let spawn_join_speedup = p1.pp_hot.wall_s /. p4.pp_hot.wall_s in
+  let wall_enforced = true in
+  let minor_worst =
+    List.fold_left (fun acc p -> Float.max acc p.pp_minor_worst) 0.0 points
+  in
   Printf.printf
-    "\nmodel speedup 4v1: %.2fx (acceptance: >= 1.5x)   wall speedup 4v1: %.2fx \
-     (%s, %d hw domains)\n"
-    model_speedup wall_speedup
-    (if wall_enforced then "enforced" else "informational")
-    hw_domains;
+    "\nmodel speedup 4v1: %.2fx (acceptance: >= 1.5x)   effective-wall \
+     speedup 4v1: %.2fx (acceptance: >= 2.0x, enforced)\n"
+    model_speedup wall_speedup;
+  Printf.printf
+    "spawn-join wall speedup 4v1: %.2fx (informational; %d hw domains)   \
+     minor words/pkt worst: %.1f (budget %.0f)\n"
+    spawn_join_speedup hw_domains minor_worst minor_words_budget;
   List.iter
-    (fun (_, (r : Driver.Parallel.result)) ->
-      acceptance "parallel_sweep clean shutdown (stranded = 0)" (r.stranded = 0);
-      acceptance "parallel_sweep no device drops" (r.drops = 0);
-      acceptance "parallel_sweep all packets delivered" (r.pkts = pkts))
+    (fun p ->
+      List.iter
+        (fun (r : Driver.Parallel.result) ->
+          acceptance "parallel_sweep clean shutdown (stranded = 0)"
+            (r.stranded = 0);
+          acceptance "parallel_sweep no device drops" (r.drops = 0);
+          acceptance "parallel_sweep all packets delivered" (r.pkts = pkts))
+        [ p.pp_model; p.pp_hot ])
     points;
   acceptance "parallel_sweep model >= 1.5x at 4 domains" (model_speedup >= 1.5);
-  if wall_enforced then
-    acceptance "parallel_sweep wall-clock >= 1.5x at 4 domains"
-      (wall_speedup >= 1.5);
+  acceptance "parallel_sweep effective wall >= 2.0x at 4 domains"
+    (wall_speedup >= 2.0);
+  acceptance
+    (Printf.sprintf "parallel_sweep minor words/pkt <= %.0f budget"
+       minor_words_budget)
+    (minor_worst <= minor_words_budget);
   let point_frags =
     String.concat ",\n"
       (List.map
-         (fun (d, (r : Driver.Parallel.result)) ->
+         (fun p ->
+           let h = p.pp_hot in
            Printf.sprintf
-             "      { \"domains\": %d, \"wall_s\": %.4f, \"wall_mpps\": %.3f, \
-              \"model_mpps\": %.3f, \"max_domain_cycles\": %.0f, \
-              \"total_cycles\": %.0f, \"stranded\": %d, \"drops\": %d }"
-             d r.wall_s
-             (float_of_int r.pkts /. r.wall_s /. 1e6)
-             (model_mpps r)
-             (Array.fold_left max 0.0 r.domain_cycles)
-             (Array.fold_left ( +. ) 0.0 r.domain_cycles)
-             r.stranded r.drops)
+             "      { \"domains\": %d, \"wall_s\": %.4f, \"eff_wall_s\": \
+              %.4f, \"producer_busy_s\": %.4f, \"wall_mpps\": %.3f, \
+              \"eff_wall_mpps\": %.3f, \"model_mpps\": %.3f, \
+              \"max_domain_cycles\": %.0f, \"total_cycles\": %.0f, \
+              \"minor_words_per_pkt\": %.1f, \"spins\": %d, \"parks\": %d, \
+              \"wakes\": %d, \"stranded\": %d, \"drops\": %d }"
+             p.pp_domains h.wall_s h.eff_wall_s h.producer_busy_s
+             (float_of_int h.pkts /. h.wall_s /. 1e6)
+             (eff_mpps h)
+             (model_mpps p.pp_model)
+             (Array.fold_left max 0.0 p.pp_model.domain_cycles)
+             (Array.fold_left ( +. ) 0.0 p.pp_model.domain_cycles)
+             h.minor_words_per_pkt h.stats.Driver.Stats.spins
+             h.stats.Driver.Stats.parks h.stats.Driver.Stats.wakes h.stranded
+             h.drops)
          points)
   in
   record_json "parallel_sweep"
     (Printf.sprintf
        "{\n    \"nic\": %S,\n    \"queues\": %d,\n    \"pkts\": %d,\n    \
-        \"hw_domains\": %d,\n    \"points\": [\n%s\n    ],\n    \
+        \"hw_domains\": %d,\n    \"hot_reps\": %d,\n    \"wall_basis\": \
+        \"busy-time critical path (packet-weighted median per-packet chunk \
+        cost x packets, max over domains); robust to timeslicing when \
+        domains outnumber cores. Hot leg: account=false pregen=true, \
+        best of %d reps. spawn_join_speedup_4v1 is the raw spawn-to-join \
+        clock, informational.\",\n    \"points\": [\n%s\n    ],\n    \
         \"model_speedup_4v1\": %.2f,\n    \"wall_speedup_4v1\": %.2f,\n    \
-        \"wall_enforced\": %b,\n    \"meets_1_5x\": %b\n  }"
-       model.spec.nic_name queues pkts hw_domains point_frags model_speedup
-       wall_speedup wall_enforced (model_speedup >= 1.5))
+        \"spawn_join_speedup_4v1\": %.2f,\n    \"wall_enforced\": %b,\n    \
+        \"minor_words_per_pkt_worst\": %.1f,\n    \"minor_words_budget\": \
+        %.0f,\n    \"meets_1_5x\": %b,\n    \"meets_wall_2x\": %b,\n    \
+        \"meets_alloc_budget\": %b\n  }"
+       model.spec.nic_name queues pkts hw_domains hot_reps hot_reps
+       point_frags model_speedup wall_speedup spawn_join_speedup wall_enforced
+       minor_worst minor_words_budget (model_speedup >= 1.5)
+       (wall_speedup >= 2.0)
+       (minor_worst <= minor_words_budget))
 
 (* ================================================================== *)
 (* chaos_sweep: fault injection — detection rate and goodput vs intensity. *)

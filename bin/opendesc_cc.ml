@@ -411,7 +411,16 @@ let parallel_cmd =
       value & opt int 64
       & info [ "batch" ] ~docv:"N" ~doc:"Harvest burst capacity per queue.")
   in
-  let run nic semantics intent_file alpha domains queues pkts batch =
+  let hot_arg =
+    Arg.(
+      value & flag
+      & info [ "hot" ]
+          ~doc:
+            "Hot-path mode: pregenerate the workload and disable cost-model \
+             accounting, so the run measures the allocation-free byte path \
+             (wall clock, GC, idle counters) rather than modelled cycles.")
+  in
+  let run nic semantics intent_file alpha domains queues pkts batch hot =
     let registry = Opendesc.Semantic.default () in
     match intent_of_args ~semantics ~intent_file registry with
     | Error e -> fail "%s" e
@@ -438,7 +447,8 @@ let parallel_cmd =
                 | Error e -> fail "%s" e
                 | Ok mq ->
                     let r =
-                      Driver.Parallel.run ~domains ~batch ~mq
+                      Driver.Parallel.run ~domains ~batch ~account:(not hot)
+                        ~pregen:hot ~mq
                         ~stack:(fun _ ->
                           Driver.Hoststacks.opendesc_batched ~compiled)
                         ~pkts
@@ -449,14 +459,25 @@ let parallel_cmd =
                     in
                     Format.printf "%a@." Driver.Stats.pp_table
                       (Array.to_list r.domain_stats @ [ r.stats ]);
+                    Array.iter
+                      (fun s ->
+                        Format.printf "%s %a@." s.Driver.Stats.name
+                          Driver.Stats.pp_idle s)
+                      r.domain_stats;
                     Printf.printf
-                      "per-queue: %s\nwall: %.3f s (%.2f Mpps)  stranded: %d  \
+                      "per-queue: %s\nwall: %.3f s (%.2f Mpps)  eff wall: \
+                       %.3f s (%.2f Mpps; producer busy %.3f s, worker busy \
+                       max %.3f s)\nminor words/pkt: %.1f  stranded: %d  \
                        device drops: %d\n"
                       (String.concat " "
                          (Array.to_list (Array.map string_of_int r.per_queue)))
                       r.wall_s
                       (float_of_int r.pkts /. r.wall_s /. 1e6)
-                      r.stranded r.drops;
+                      r.eff_wall_s
+                      (float_of_int r.pkts /. r.eff_wall_s /. 1e6)
+                      r.producer_busy_s
+                      (Array.fold_left Float.max 0.0 r.busy_s)
+                      r.minor_words_per_pkt r.stranded r.drops;
                     if r.stranded <> 0 then
                       fail "%d packets stranded in handoff rings" r.stranded
                     else `Ok ())))
@@ -470,7 +491,7 @@ let parallel_cmd =
     Term.(
       ret
         (const run $ nic_arg $ semantics_arg $ intent_arg $ alpha_arg
-       $ domains_arg $ queues_arg $ pkts_arg $ batch_arg))
+       $ domains_arg $ queues_arg $ pkts_arg $ batch_arg $ hot_arg))
 
 (* --- chaos ---------------------------------------------------------- *)
 

@@ -14,6 +14,20 @@ let breakdown t =
 
 let reset = Hashtbl.reset
 
+(* The accounting sink: cost-model bookkeeping as an optional observer.
+   The hot datapath matches on the sink once per burst and skips every
+   charge (including the float computations feeding them) under [Null];
+   the bench and the model-throughput experiments pass [Ledger] and get
+   exactly the charges the inline path used to make. *)
+type sink = Null | Ledger of t
+
+let null = Null
+let ledger t = Ledger t
+let enabled = function Null -> false | Ledger _ -> true
+
+let charge_sink sink name cycles =
+  match sink with Null -> () | Ledger t -> charge t name cycles
+
 module K = struct
   let cache_line_load = 18.0
   let field_move = 3.0

@@ -25,6 +25,31 @@ val breakdown : t -> (string * float) list
 
 val reset : t -> unit
 
+(** {1 Accounting sink}
+
+    Cost-model accounting as an optional observer of the datapath rather
+    than an inline tax on it. Burst consumers ({!Stack.burst_t}) take a
+    sink: the bench passes [Ledger l] and gets the exact charges the
+    inline path always made; the wall-clock hot path passes [Null] and
+    the consumer skips all bookkeeping — no hashtable traffic, no float
+    boxing, no per-packet closures — so the byte path runs at the speed
+    of the bytes. *)
+
+type sink = Null | Ledger of t
+
+val null : sink
+(** Discard all charges (the hot-path sink). *)
+
+val ledger : t -> sink
+(** Record charges into [t] (the accounting sink). *)
+
+val enabled : sink -> bool
+(** [false] iff the sink is {!Null}. Guard computed-cost charges with
+    this so the hot path skips the arithmetic too. *)
+
+val charge_sink : sink -> string -> float -> unit
+(** {!charge} through the sink; a no-op under {!Null}. *)
+
 (** Cost constants (cycles unless noted). *)
 module K : sig
   val cache_line_load : float

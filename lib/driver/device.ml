@@ -7,6 +7,17 @@ type t = {
   pkt_ring : Ring.t;
   tx_ring : Ring.t;
   tx_scratch : bytes;  (** reusable TX descriptor-fetch buffer *)
+  inj_slot : bytes;  (** reusable RX injection slot (len prefix + data) *)
+  inj_cmpt : bytes;  (** reusable RX completion-record buffer *)
+  rx_scratch_cmpt : bytes;  (** reusable [rx_consume] harvest buffers *)
+  rx_scratch_pkt : bytes;
+  (* The resolve closure handed to [Accessor.write_record] is allocated
+     once at [create] and reads the packet being injected out of these
+     two mutable fields — the per-packet closure was one of the larger
+     allocation sources on the RX path. *)
+  mutable resolve_pkt : Packet.Pkt.t;
+  mutable resolve_view : Packet.Pkt.view;
+  mutable resolve_f : Opendesc.Path.lfield -> int64;
   buf_size : int;
   mutable tx_format : Opendesc.Descparser.t option;
   mutable rx_count : int;
@@ -64,16 +75,27 @@ let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.M
                (fun acc f -> max acc (Opendesc.Descparser.size f))
                16 model.spec.tx_formats)
       in
-      Ok
+      let cmpt_ring =
+        Ring.create ~slots:queue_depth ~slot_size:(max_cmpt_size model.spec)
+      in
+      let pkt_ring = Ring.create ~slots:queue_depth ~slot_size:(buf_size + 2) in
+      let t =
         {
           model;
           env = Softnic.Feature.make_env ();
           config;
           active_path = path;
-          cmpt_ring = Ring.create ~slots:queue_depth ~slot_size:(max_cmpt_size model.spec);
-          pkt_ring = Ring.create ~slots:queue_depth ~slot_size:(buf_size + 2);
+          cmpt_ring;
+          pkt_ring;
           tx_ring;
           tx_scratch = Bytes.create (Ring.slot_size tx_ring);
+          inj_slot = Bytes.create (Ring.slot_size pkt_ring);
+          inj_cmpt = Bytes.create (Ring.slot_size cmpt_ring);
+          rx_scratch_cmpt = Bytes.create (Ring.slot_size cmpt_ring);
+          rx_scratch_pkt = Bytes.create (Ring.slot_size pkt_ring);
+          resolve_pkt = Packet.Pkt.create Bytes.empty;
+          resolve_view = Packet.Pkt.parse (Packet.Pkt.create Bytes.empty);
+          resolve_f = (fun _ -> 0L);
           buf_size;
           tx_format = smallest_tx model.spec;
           rx_count = 0;
@@ -82,6 +104,10 @@ let create ?(queue_depth = 512) ?(buf_size = 2048) ~config (model : Nic_models.M
           tx_pkt_bytes_read = 0;
           doorbells = 0;
         }
+      in
+      t.resolve_f <-
+        (fun f -> t.model.resolve t.env t.resolve_pkt t.resolve_view f);
+      Ok t
 
 let create_exn ?queue_depth ?buf_size ~config model =
   match create ?queue_depth ?buf_size ~config model with
@@ -109,44 +135,52 @@ let pkt_ring t = t.pkt_ring
 let tx_ring t = t.tx_ring
 let buf_size t = t.buf_size
 
-let rx_inject t pkt =
-  let len = Packet.Pkt.len pkt in
+(* The pooled injection primitive: the payload lives in the first [len]
+   bytes of [buf] (which may be a reusable scratch buffer longer than the
+   packet). Everything is staged through the preallocated [inj_slot] /
+   [inj_cmpt] buffers and the once-allocated [resolve_f] closure, so
+   injecting a packet allocates nothing beyond the [Pkt.t] wrapper the
+   parser needs. *)
+let rx_inject_raw t buf ~len =
   if len > t.buf_size || Ring.is_full t.pkt_ring || Ring.is_full t.cmpt_ring then begin
     t.drops <- t.drops + 1;
     false
   end
   else begin
     (* Packet buffer slot: 2-byte length prefix + data. *)
-    let slot = Bytes.create (len + 2) in
-    Bytes.set_uint16_le slot 0 len;
-    Bytes.blit pkt.Packet.Pkt.buf 0 slot 2 len;
-    let ok1 = Ring.produce_dev t.pkt_ring slot in
+    Bytes.set_uint16_le t.inj_slot 0 len;
+    Bytes.blit buf 0 t.inj_slot 2 len;
+    let ok1 = Ring.produce_dev ~len:(len + 2) t.pkt_ring t.inj_slot in
     (* Completion record per the active path's layout. *)
     let layout = t.active_path.p_layout in
-    let cmpt = Bytes.make layout.size_bytes '\x00' in
-    let view = Packet.Pkt.parse pkt in
-    Opendesc.Accessor.write_record layout cmpt (fun f ->
-        t.model.resolve t.env pkt view f);
-    let ok2 = Ring.produce_dev t.cmpt_ring cmpt in
+    Bytes.fill t.inj_cmpt 0 layout.size_bytes '\x00';
+    t.resolve_pkt <- Packet.Pkt.sub buf ~len;
+    t.resolve_view <- Packet.Pkt.parse t.resolve_pkt;
+    Opendesc.Accessor.write_record layout t.inj_cmpt t.resolve_f;
+    let ok2 = Ring.produce_dev ~len:layout.size_bytes t.cmpt_ring t.inj_cmpt in
     assert (ok1 && ok2);
     t.rx_count <- t.rx_count + 1;
     true
   end
 
+let rx_inject t pkt =
+  rx_inject_raw t pkt.Packet.Pkt.buf ~len:pkt.Packet.Pkt.len
+
 let rx_available t = Ring.available t.cmpt_ring
 
 let rx_consume t =
-  match Ring.consume_host t.cmpt_ring with
-  | None -> None
-  | Some cmpt -> (
-      match Ring.consume_host t.pkt_ring with
-      | None -> None (* rings advance in lockstep; unreachable *)
-      | Some slot ->
-          let len = Bytes.get_uint16_le slot 0 in
-          let pkt = Bytes.sub slot 2 len in
-          (* Trim the completion to the active layout size. *)
-          let cmpt = Bytes.sub cmpt 0 t.active_path.p_layout.size_bytes in
-          Some (pkt, len, cmpt))
+  if Ring.is_empty t.cmpt_ring then None
+  else begin
+    let ok1 = Ring.consume_host_into t.cmpt_ring t.rx_scratch_cmpt in
+    let ok2 = Ring.consume_host_into t.pkt_ring t.rx_scratch_pkt in
+    (* rings advance in lockstep *)
+    assert (ok1 && ok2);
+    let len = Bytes.get_uint16_le t.rx_scratch_pkt 0 in
+    let pkt = Bytes.sub t.rx_scratch_pkt 2 len in
+    (* Trim the completion to the active layout size. *)
+    let cmpt = Bytes.sub t.rx_scratch_cmpt 0 t.active_path.p_layout.size_bytes in
+    Some (pkt, len, cmpt)
+  end
 
 let burst_create ?(capacity = 64) t =
   assert (capacity > 0);

@@ -81,6 +81,13 @@ val rx_inject : t -> Packet.Pkt.t -> bool
 (** Wire → device → host memory. False (and a drop counted) when the RX
     or completion ring is full. *)
 
+val rx_inject_raw : t -> bytes -> len:int -> bool
+(** Like {!rx_inject}, but the packet is the first [len] bytes of a
+    caller-owned buffer (which may be a reusable scratch longer than the
+    packet, so the producer loop never slices). Staged entirely through
+    preallocated device buffers — the pooled fast path's injection
+    primitive. Requires [len <= Bytes.length buf]. *)
+
 val rx_available : t -> int
 
 val rx_consume : t -> (bytes * int * bytes) option

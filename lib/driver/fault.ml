@@ -177,6 +177,7 @@ type t = {
   checker : Validate.checker;
   target_fields : Opendesc.Path.lfield array;
   quarantine : Ring.t;
+  q_scratch : bytes;  (** reusable quarantine-harvest buffer *)
   c : counters;
   mutable inject_seq : int;
   mutable stashed : Packet.Pkt.t option;
@@ -200,6 +201,7 @@ let wrap ?(qid = 0) ?(quarantine_depth = 1024) plan dev =
     quarantine =
       Ring.create ~slots:quarantine_depth
         ~slot_size:(Ring.slot_size (Device.cmpt_ring dev));
+    q_scratch = Bytes.create (Ring.slot_size (Device.cmpt_ring dev));
     c = counters_zero ();
     inject_seq = 0;
     stashed = None;
@@ -447,9 +449,9 @@ let harvest ?(max_kicks = default_max_kicks) t (b : Device.burst) =
 let quarantined t = Ring.available t.quarantine
 
 let quarantine_consume t =
-  Option.map
-    (fun b -> Bytes.sub b 0 (layout_size t))
-    (Ring.consume_host t.quarantine)
+  if Ring.consume_host_into t.quarantine t.q_scratch then
+    Some (Bytes.sub t.q_scratch 0 (layout_size t))
+  else None
 
 let tx_post_batch t descs =
   let n = Device.tx_post_batch t.dev descs in

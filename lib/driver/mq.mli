@@ -39,6 +39,19 @@ val steer : ?view:Packet.Pkt.view -> t -> Packet.Pkt.t -> int
 val rx_inject : ?view:Packet.Pkt.view -> t -> Packet.Pkt.t -> bool
 (** Inject via the steering function ([?view] as in {!steer}). *)
 
+type steer_cache
+(** A flow -> queue cache in front of the Toeplitz hash — the software
+    twin of a NIC's RSS indirection table. *)
+
+val make_steer_cache : ?size:int -> unit -> steer_cache
+(** Default initial size 256 (flows, not packets). *)
+
+val steer_cached : t -> steer_cache -> Packet.Pkt.t -> int
+(** {!steer} through the cache: parses the packet, hashes only on a
+    cache miss. Identical queue choice to {!steer} — the hash is a pure
+    function of the flow — so cached and uncached steering interleave
+    safely. Unhashable frames bypass the cache (queue 0). *)
+
 val rx_counts : t -> int array
 (** Packets delivered per queue. *)
 

@@ -5,10 +5,17 @@
    and the host-side burst harvest for its queues, so no device state is
    ever shared between domains. A steering/injection domain parses each
    packet once, steers it (with a flow->queue cache in front of the
-   Toeplitz hash, like a NIC's RSS indirection table) and hands it to
-   the owning worker over a bounded SPSC ring. Stats are sharded: each
+   Toeplitz hash, like a NIC's RSS indirection table) and hands the
+   packet BYTES to the owning worker over a bounded SPSC byte ring
+   ({!Pktring}) whose slots are preallocated — the handoff neither
+   allocates nor publishes an index per packet. Stats are sharded: each
    worker charges a domain-local ledger and the shards merge on demand
-   (Stats.merge), so counters stay race-free without hot-path atomics. *)
+   (Stats.merge), so counters stay race-free without hot-path atomics.
+
+   Cost accounting is an optional observer ({!Cost.sink}): with
+   [~account:false] workers pass [Cost.Null] to their consumers and the
+   byte path runs with no ledger traffic at all, which is the
+   configuration the wall-clock measurements use. *)
 
 module Spsc = struct
   (* Lamport's single-producer/single-consumer bounded queue. The
@@ -16,7 +23,8 @@ module Spsc = struct
      slot contents are published by the seq-cst [Atomic.set] of the
      index, which is the OCaml 5 message-passing idiom: every plain
      write before the atomic store is visible after the matching atomic
-     load. *)
+     load. Kept as the generic boxed-value ring (and exercised directly
+     by the tests); the datapath itself uses {!Pktring}. *)
   type 'a t = {
     slots : 'a option array;
     mask : int;
@@ -63,6 +71,134 @@ module Spsc = struct
     end
 end
 
+module Pktring = struct
+  (* The datapath handoff ring: a Lamport SPSC ring whose slots are
+     preallocated byte buffers (payload at offset 0) plus a length and a
+     queue id, so handing a packet to a worker is one [Bytes.blit] into
+     a pooled slot — no option/tuple boxing, no per-packet allocation.
+
+     Two standard SPSC refinements cut the cross-domain cache traffic:
+
+     - cached opposite indices: the producer re-reads the atomic [head]
+       only when its cached copy says the ring is full, the consumer
+       re-reads [tail] only when its cached copy says it is empty;
+     - batched index publication: each side publishes its own index
+       every [publish_batch] operations (and on full/empty/flush)
+       instead of per packet, so the shared lines bounce once per batch.
+
+     Publication remains the seq-cst [Atomic.set] message-passing idiom,
+     so every slot write before a publish is visible after the matching
+     atomic read. Late publication is always conservative: the other
+     side sees the ring as at most fuller (producer view) or emptier
+     (consumer view) than it really is. *)
+
+  let publish_batch = 16
+
+  type t = {
+    bufs : bytes array;
+    lens : int array;  (** true packet length (may exceed the slot) *)
+    qids : int array;
+    mask : int;
+    head : int Atomic.t;  (** published consumer index, free-running *)
+    tail : int Atomic.t;  (** published producer index, free-running *)
+    mutable p_tail : int;  (** producer-private true tail *)
+    mutable p_published : int;
+    mutable p_head_cache : int;
+    mutable c_head : int;  (** consumer-private true head *)
+    mutable c_published : int;
+    mutable c_tail_cache : int;
+  }
+
+  let next_pow2 n =
+    let rec go p = if p >= n then p else go (p * 2) in
+    go 1
+
+  let create ~capacity ~slot_size =
+    if capacity < 1 then invalid_arg "Pktring.create: capacity must be >= 1";
+    if slot_size < 1 then invalid_arg "Pktring.create: slot_size must be >= 1";
+    let cap = next_pow2 capacity in
+    {
+      bufs = Array.init cap (fun _ -> Bytes.create slot_size);
+      lens = Array.make cap 0;
+      qids = Array.make cap 0;
+      mask = cap - 1;
+      head = Atomic.make 0;
+      tail = Atomic.make 0;
+      p_tail = 0;
+      p_published = 0;
+      p_head_cache = 0;
+      c_head = 0;
+      c_published = 0;
+      c_tail_cache = 0;
+    }
+
+  let capacity t = t.mask + 1
+  let slot_size t = Bytes.length t.bufs.(0)
+  let length t = Atomic.get t.tail - Atomic.get t.head
+
+  (* -- producer side -- *)
+
+  let flush t =
+    if t.p_published <> t.p_tail then begin
+      Atomic.set t.tail t.p_tail;
+      t.p_published <- t.p_tail
+    end
+
+  let try_push t src ~len ~qid =
+    if t.p_tail - t.p_head_cache > t.mask then
+      t.p_head_cache <- Atomic.get t.head;
+    if t.p_tail - t.p_head_cache > t.mask then begin
+      (* Genuinely full: publish anything staged so the consumer can
+         drain and make space, then report failure. *)
+      flush t;
+      false
+    end
+    else begin
+      let i = t.p_tail land t.mask in
+      (* Oversize packets (longer than the slot) are staged truncated
+         with their true length: every device's [buf_size] is <= the
+         slot size, so the consumer's inject drops them on the length
+         check before reading the payload — same drop accounting as
+         handing over the full bytes. *)
+      Bytes.blit src 0 t.bufs.(i) 0 (min len (Bytes.length t.bufs.(i)));
+      t.lens.(i) <- len;
+      t.qids.(i) <- qid;
+      t.p_tail <- t.p_tail + 1;
+      if t.p_tail - t.p_published >= publish_batch then flush t;
+      true
+    end
+
+  (* -- consumer side -- *)
+
+  let publish_head t =
+    if t.c_published <> t.c_head then begin
+      Atomic.set t.head t.c_head;
+      t.c_published <- t.c_head
+    end
+
+  let peek t =
+    if t.c_head < t.c_tail_cache then t.c_head land t.mask
+    else begin
+      t.c_tail_cache <- Atomic.get t.tail;
+      if t.c_head < t.c_tail_cache then t.c_head land t.mask
+      else begin
+        (* Observed empty: let the producer see every slot freed so
+           far, otherwise a full-looking ring could deadlock against a
+           sleeping consumer. *)
+        publish_head t;
+        -1
+      end
+    end
+
+  let buf t i = t.bufs.(i)
+  let len t i = t.lens.(i)
+  let qid t i = t.qids.(i)
+
+  let advance t =
+    t.c_head <- t.c_head + 1;
+    if t.c_head - t.c_published >= publish_batch then publish_head t
+end
+
 type result = {
   pkts : int;
   per_queue : int array;
@@ -70,6 +206,10 @@ type result = {
   domain_stats : Stats.t array;
   domain_cycles : float array;
   wall_s : float;
+  busy_s : float array;
+  producer_busy_s : float;
+  eff_wall_s : float;
+  minor_words_per_pkt : float;
   stranded : int;
   drops : int;
   sink : int64;
@@ -78,28 +218,99 @@ type result = {
 }
 
 (* What one worker domain reports back through Domain.join. *)
-type report = { rp_pkts : int; rp_cycles : float; rp_stats : Stats.t; rp_sink : int64 }
+type report = {
+  rp_pkts : int;
+  rp_cycles : float;
+  rp_stats : Stats.t;
+  rp_sink : int64;
+  rp_busy_s : float;
+  rp_minor_words : float;
+}
 
-(* Spin a little, then yield the core: on machines with fewer cores than
-   domains a pure busy-wait would burn the producer's (or a starved
-   worker's) whole timeslice. *)
-let backoff tries =
-  if tries < 256 then Domain.cpu_relax () else Unix.sleepf 50e-6
+(* Adaptive busy-poll backoff: spin with [Domain.cpu_relax] while the
+   wait is likely short, then park in exponentially growing [sleepf]
+   naps so an idle domain yields its core (essential on machines with
+   fewer cores than domains). Progress resets both phases. *)
+let spin_limit = 128
+let park_min_s = 2e-6
+let park_max_s = 256e-6
 
-let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
-    ~delivered ~faults () =
+(* Preemption-robust busy time from per-chunk timings. Each domain
+   clocks contiguous work chunks (a pop/inject run plus its harvest; a
+   run of ring pushes) as (seconds, packets). On a machine with fewer
+   cores than domains a chunk's wall span can include another domain's
+   timeslice, so the raw sum overstates on-CPU work arbitrarily; the
+   packet-weighted MEDIAN per-packet cost is immune to those outliers
+   (preemption hits a minority of chunks). Busy time is then
+   median-cost x packets — an estimate of the time this domain's work
+   would take on its own core. *)
+let robust_busy ~chunk_s ~chunk_n ~nchunks ~extra_s =
+  let total = ref 0 in
+  for i = 0 to nchunks - 1 do
+    total := !total + chunk_n.(i)
+  done;
+  if !total = 0 then extra_s
+  else begin
+    let idx = Array.init nchunks Fun.id in
+    Array.sort
+      (fun a b ->
+        Float.compare
+          (chunk_s.(a) /. float_of_int chunk_n.(a))
+          (chunk_s.(b) /. float_of_int chunk_n.(b)))
+      idx;
+    let half = !total / 2 in
+    let acc = ref 0 and k = ref 0 in
+    while !acc <= half && !k < nchunks do
+      acc := !acc + chunk_n.(idx.(!k));
+      incr k
+    done;
+    let m = idx.(max 0 (!k - 1)) in
+    (chunk_s.(m) /. float_of_int chunk_n.(m) *. float_of_int !total) +. extra_s
+  end
+
+let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~account
+    ~pkts_hint ~per_queue ~delivered ~faults () =
   let env = Softnic.Feature.make_env () in
   let ledger = Cost.create () in
+  let sink_acct = if account then Cost.ledger ledger else Cost.null in
   let bursts = Array.map (fun d -> Device.burst_create ~capacity:batch d) devices in
   let consumers = Array.map stack queue_ids in
   let hist : (int, int) Hashtbl.t = Hashtbl.create 8 in
   let nbursts = ref 0 in
   let consumed = ref 0 in
   let sink = ref 0L in
-  let inject i pkt =
+  let spins = ref 0 and parks = ref 0 and wakes = ref 0 in
+  (* Chunk timing buffers, preallocated so the loop never grows them. *)
+  let cap = pkts_hint + 2 in
+  let chunk_s = Array.make cap 0.0 in
+  let chunk_n = Array.make cap 0 in
+  let nchunks = ref 0 in
+  let tail_s = ref 0.0 in
+  let record_chunk s n =
+    if n > 0 && !nchunks < cap then begin
+      chunk_s.(!nchunks) <- s;
+      chunk_n.(!nchunks) <- n;
+      incr nchunks
+    end
+    else if n = 0 then tail_s := !tail_s +. s
+  in
+  let inject i buf len =
     match faults with
-    | None -> Device.rx_inject devices.(i) pkt
-    | Some fqs -> Fault.rx_inject fqs.(i) pkt
+    | None -> ignore (Device.rx_inject_raw devices.(i) buf ~len)
+    | Some fqs ->
+        (* The fault layer can stash the packet past this call (Reorder
+           defers it), so the chaos path hands it a private copy rather
+           than a view of a reusable ring slot. Chaos is the resilience
+           harness, not the wall-clock path. *)
+        let pkt =
+          if len <= Bytes.length buf then
+            Packet.Pkt.create (Bytes.sub buf 0 len)
+          else
+            (* Oversize packet staged truncated ({!Pktring.try_push}):
+               the device drops it on length regardless of content. *)
+            Packet.Pkt.create (Bytes.create len)
+        in
+        ignore (Fault.rx_inject fqs.(i) pkt)
   in
   let take i b =
     match faults with
@@ -118,7 +329,7 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
           incr nbursts;
           Hashtbl.replace hist n
             (1 + Option.value ~default:0 (Hashtbl.find_opt hist n));
-          sink := Int64.add !sink (consumers.(i).Stack.bt_consume ledger env b);
+          sink := Int64.add !sink (consumers.(i).Stack.bt_consume sink_acct env b);
           let q = queue_ids.(i) in
           per_queue.(q) <- per_queue.(q) + n;
           (match delivered with
@@ -146,38 +357,69 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
           ignore (sweep ())
         done
   in
-  (* Harvest when a full batch per owned queue has accumulated (keeps
-     bursts near capacity, so the amortised per-burst charges match the
-     sequential batched path), when the injector goes quiet, or at
-     shutdown. *)
+  (* Pop/inject in runs of up to a full batch per owned queue, then
+     harvest — keeps bursts near capacity, so the amortised per-burst
+     charges match the sequential batched path. Each run+harvest is one
+     timed chunk. *)
   let threshold = batch * Array.length devices in
-  let rec loop pending idle =
-    match Spsc.try_pop ring with
-    | Some (q, pkt) ->
-        ignore (inject local.(q) pkt);
-        let pending = pending + 1 in
-        if pending >= threshold then begin
-          harvest_all ();
-          loop 0 0
-        end
-        else loop pending 0
-    | None ->
-        if Atomic.get stop && Spsc.is_empty ring then begin
-          (* End of stream: a deferred (reordered) completion has no
-             successor left to swap with — emit it before the final
-             drain. *)
-          (match faults with
-          | Some fqs -> Array.iter Fault.flush fqs
-          | None -> ());
-          harvest_all ()
-        end
-        else begin
-          let pending = if idle = 32 && pending > 0 then (harvest_all (); 0) else pending in
-          backoff idle;
-          loop pending (idle + 1)
-        end
+  let mw0 = Gc.minor_words () in
+  let running = ref true in
+  let idle = ref 0 in
+  let park_s = ref park_min_s in
+  let parked = ref false in
+  while !running do
+    let first = Pktring.peek ring in
+    if first >= 0 then begin
+      let t0 = Unix.gettimeofday () in
+      if !parked then begin
+        incr wakes;
+        parked := false
+      end;
+      idle := 0;
+      park_s := park_min_s;
+      let pops = ref 0 in
+      let slot = ref first in
+      while !slot >= 0 do
+        let q = Pktring.qid ring !slot in
+        inject local.(q) (Pktring.buf ring !slot) (Pktring.len ring !slot);
+        Pktring.advance ring;
+        incr pops;
+        slot := if !pops < threshold then Pktring.peek ring else -1
+      done;
+      harvest_all ();
+      record_chunk (Unix.gettimeofday () -. t0) !pops
+    end
+    else if Atomic.get stop && Pktring.peek ring < 0 then begin
+      (* End of stream (the re-peek runs after the stop read, so the
+         producer's final flush is visible): a deferred (reordered)
+         completion has no successor left to swap with — emit it before
+         the final drain. *)
+      let t0 = Unix.gettimeofday () in
+      (match faults with
+      | Some fqs -> Array.iter Fault.flush fqs
+      | None -> ());
+      harvest_all ();
+      record_chunk (Unix.gettimeofday () -. t0) 0;
+      running := false
+    end
+    else begin
+      if !idle < spin_limit then begin
+        Domain.cpu_relax ();
+        incr spins
+      end
+      else begin
+        Unix.sleepf !park_s;
+        incr parks;
+        parked := true;
+        park_s := Float.min park_max_s (!park_s *. 2.0)
+      end;
+      incr idle
+    end
+  done;
+  let minor_words = Gc.minor_words () -. mw0 in
+  let busy =
+    robust_busy ~chunk_s ~chunk_n ~nchunks:!nchunks ~extra_s:!tail_s
   in
-  loop 0 0;
   let dma = Array.fold_left (fun a d -> a + Device.dma_bytes d) 0 devices in
   let drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices in
   let stats =
@@ -186,6 +428,7 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
       ~pkts:!consumed ~ledger ~dma_bytes:dma ~drops
     |> Stats.with_bursts ~bursts:!nbursts
          ~burst_hist:(Hashtbl.fold (fun k v acc -> (k, v) :: acc) hist [])
+    |> Stats.with_idle ~spins:!spins ~parks:!parks ~wakes:!wakes
   in
   let stats =
     match faults with
@@ -197,10 +440,17 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~per_queue
         Stats.with_faults ~injected:c.Fault.injected ~detected:c.Fault.detected
           ~quarantined:c.Fault.quarantined ~retries:c.Fault.retries stats
   in
-  { rp_pkts = !consumed; rp_cycles = Cost.total ledger; rp_stats = stats; rp_sink = !sink }
+  {
+    rp_pkts = !consumed;
+    rp_cycles = Cost.total ledger;
+    rp_stats = stats;
+    rp_sink = !sink;
+    rp_busy_s = busy;
+    rp_minor_words = minor_words;
+  }
 
 let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
-    ?plan ~mq ~stack ~pkts ~workload () =
+    ?(account = true) ?(pregen = false) ?plan ~mq ~stack ~pkts ~workload () =
   if domains < 1 then invalid_arg "Parallel.run: domains must be >= 1";
   if batch < 1 then invalid_arg "Parallel.run: batch must be >= 1";
   let nq = Mq.queues mq in
@@ -219,8 +469,33 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
   in
   let per_queue = Array.make nq 0 in
   let delivered = if collect then Some (Array.make nq []) else None in
-  let rings = Array.init workers (fun _ -> Spsc.create ring_capacity) in
+  let slot_size =
+    Array.fold_left (fun a d -> max a (Device.buf_size d)) 64 devices
+  in
+  let rings =
+    Array.init workers (fun _ ->
+        Pktring.create ~capacity:ring_capacity ~slot_size)
+  in
   let stop = Atomic.make false in
+  (* With [~pregen] the workload generation and steering run before the
+     clock starts, so the measured region is the drain machinery itself:
+     handoff, injection, harvest, consume. *)
+  let pre =
+    if not pregen then None
+    else begin
+      let cache = Mq.make_steer_cache () in
+      let bufs = Array.make (max 1 pkts) Bytes.empty in
+      let lens = Array.make (max 1 pkts) 0 in
+      let qs = Array.make (max 1 pkts) 0 in
+      for k = 0 to pkts - 1 do
+        let pkt = Packet.Workload.next workload in
+        bufs.(k) <- pkt.Packet.Pkt.buf;
+        lens.(k) <- pkt.Packet.Pkt.len;
+        qs.(k) <- Mq.steer_cached mq cache pkt
+      done;
+      Some (bufs, lens, qs)
+    end
+  in
   let t0 = Unix.gettimeofday () in
   let doms =
     Array.init workers (fun w ->
@@ -236,45 +511,94 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
         in
         Domain.spawn
           (worker ~w ~queue_ids ~devices:wdevices ~local ~ring:rings.(w) ~stop
-             ~batch ~stack ~per_queue ~delivered ~faults:wfaults))
+             ~batch ~stack ~account ~pkts_hint:pkts ~per_queue ~delivered
+             ~faults:wfaults))
   in
-  (* The steering/injection domain: parse once, steer via the flow cache
-     (identical queue choice to Mq.steer — the Toeplitz hash is a pure
-     function of the flow), hand off with backpressure. *)
-  let steer_cache : (Packet.Fivetuple.t, int) Hashtbl.t = Hashtbl.create 256 in
-  for _ = 1 to pkts do
-    let pkt = Packet.Workload.next workload in
-    let view = Packet.Pkt.parse pkt in
-    let q =
-      match Packet.Fivetuple.of_pkt pkt view with
-      | Some flow -> (
-          match Hashtbl.find_opt steer_cache flow with
-          | Some q -> q
-          | None ->
-              let q = Mq.steer ~view mq pkt in
-              Hashtbl.replace steer_cache flow q;
-              q)
-      | None -> Mq.steer ~view mq pkt
-    in
+  (* The steering/injection domain. Chunks of pushes are timed the same
+     way worker chunks are (see [robust_busy]); blocking on a full ring
+     ends the current chunk so the wait is not billed as work. *)
+  let p_cap = pkts + 2 in
+  let p_chunk_s = Array.make p_cap 0.0 in
+  let p_chunk_n = Array.make p_cap 0 in
+  let p_nchunks = ref 0 in
+  let p_record s n =
+    if n > 0 && !p_nchunks < p_cap then begin
+      p_chunk_s.(!p_nchunks) <- s;
+      p_chunk_n.(!p_nchunks) <- n;
+      incr p_nchunks
+    end
+  in
+  let pushed_in_chunk = ref 0 in
+  let chunk_t0 = ref (Unix.gettimeofday ()) in
+  let end_chunk () =
+    p_record (Unix.gettimeofday () -. !chunk_t0) !pushed_in_chunk;
+    pushed_in_chunk := 0;
+    chunk_t0 := Unix.gettimeofday ()
+  in
+  let p_mw0 = Gc.minor_words () in
+  let push_one buf len q =
     let ring = rings.(owner q) in
-    let tries = ref 0 in
-    while not (Spsc.try_push ring (q, pkt)) do
-      backoff !tries;
-      incr tries
-    done
-  done;
+    if not (Pktring.try_push ring buf ~len ~qid:q) then begin
+      end_chunk ();
+      let idle = ref 0 in
+      let park = ref park_min_s in
+      while not (Pktring.try_push ring buf ~len ~qid:q) do
+        if !idle < spin_limit then Domain.cpu_relax ()
+        else begin
+          Unix.sleepf !park;
+          park := Float.min park_max_s (!park *. 2.0)
+        end;
+        incr idle
+      done;
+      chunk_t0 := Unix.gettimeofday ()
+    end;
+    incr pushed_in_chunk;
+    if !pushed_in_chunk >= 256 then end_chunk ()
+  in
+  (match pre with
+  | Some (bufs, lens, qs) ->
+      for k = 0 to pkts - 1 do
+        push_one bufs.(k) lens.(k) qs.(k)
+      done
+  | None ->
+      let cache = Mq.make_steer_cache () in
+      for _ = 1 to pkts do
+        let pkt = Packet.Workload.next workload in
+        push_one pkt.Packet.Pkt.buf pkt.Packet.Pkt.len
+          (Mq.steer_cached mq cache pkt)
+      done);
+  Array.iter Pktring.flush rings;
+  end_chunk ();
+  let p_minor_words = Gc.minor_words () -. p_mw0 in
   Atomic.set stop true;
   let reports = Array.map Domain.join doms in
   let wall_s = Unix.gettimeofday () -. t0 in
-  let stranded = Array.fold_left (fun a r -> a + Spsc.length r) 0 rings in
+  let producer_busy_s =
+    robust_busy ~chunk_s:p_chunk_s ~chunk_n:p_chunk_n ~nchunks:!p_nchunks
+      ~extra_s:0.0
+  in
+  let busy_s = Array.map (fun r -> r.rp_busy_s) reports in
+  let eff_wall_s =
+    Array.fold_left (fun a b -> Float.max a b) producer_busy_s busy_s
+  in
+  let total_pkts = Array.fold_left (fun a r -> a + r.rp_pkts) 0 reports in
+  let minor_words =
+    Array.fold_left (fun a r -> a +. r.rp_minor_words) p_minor_words reports
+  in
+  let stranded = Array.fold_left (fun a r -> a + Pktring.length r) 0 rings in
   let domain_stats = Array.map (fun r -> r.rp_stats) reports in
   {
-    pkts = Array.fold_left (fun a r -> a + r.rp_pkts) 0 reports;
+    pkts = total_pkts;
     per_queue;
     stats = Stats.merge ~name:"parallel" (Array.to_list domain_stats);
     domain_stats;
     domain_cycles = Array.map (fun r -> r.rp_cycles) reports;
     wall_s;
+    busy_s;
+    producer_busy_s;
+    eff_wall_s;
+    minor_words_per_pkt =
+      (if total_pkts = 0 then 0.0 else minor_words /. float_of_int total_pkts);
     stranded;
     drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices;
     sink = Array.fold_left (fun a r -> Int64.add a r.rp_sink) 0L reports;

@@ -6,14 +6,17 @@
     device-side injection and host-side burst harvest both happen on the
     owner, so no device state is shared across domains. A
     steering/injection domain parses and steers each packet (the same
-    Toeplitz decision as {!Mq.steer}) and hands it to the owner over a
-    bounded SPSC ring. Per-domain stats shards merge via
-    {!Stats.merge}. *)
+    Toeplitz decision as {!Mq.steer}) and hands its bytes to the owner
+    over a bounded SPSC byte ring with preallocated slots, cached
+    opposite indices and batched index publication ({!Pktring}) — the
+    handoff allocates nothing per packet. Per-domain stats shards merge
+    via {!Stats.merge}. *)
 
 module Spsc : sig
   (** Lamport single-producer/single-consumer bounded ring. Exactly one
       domain may push and exactly one may pop; indices are [Atomic] so
-      slot contents publish across the pair. *)
+      slot contents publish across the pair. The generic boxed-value
+      ring; the datapath hands packets over {!Pktring} instead. *)
 
   type 'a t
 
@@ -33,6 +36,64 @@ module Spsc : sig
   val is_empty : 'a t -> bool
 end
 
+module Pktring : sig
+  (** The zero-allocation handoff ring: a Lamport SPSC ring over
+      preallocated byte slots (packet payload at offset 0, plus a length
+      and a queue id per slot). Pushing blits into a pooled slot;
+      popping is peek-then-advance, so the consumer reads the slot in
+      place and releases it explicitly — no option or tuple boxing on
+      either side.
+
+      Two refinements cut cross-domain cache traffic: each side caches
+      the other's index and re-reads the atomic only when the cached
+      copy says full/empty, and each side publishes its own index in
+      batches (every 16 operations, and on flush/full/empty) rather
+      than per packet. Late publication is conservative — the ring can
+      look fuller or emptier than it is, never the reverse. *)
+
+  type t
+
+  val create : capacity:int -> slot_size:int -> t
+  (** Capacity is rounded up to a power of two; every slot holds
+      [slot_size] bytes.
+      @raise Invalid_argument on capacity < 1 or slot_size < 1. *)
+
+  val capacity : t -> int
+  val slot_size : t -> int
+
+  val try_push : t -> bytes -> len:int -> qid:int -> bool
+  (** Producer only. Blit the first [min len slot_size] bytes of [src]
+      into the next slot, recording the true [len] and [qid]. False when
+      full (after force-publishing staged slots so the consumer can make
+      space). Packets longer than the slot are staged truncated with
+      their true length — the consumer's inject drops them on the length
+      check before touching the payload. *)
+
+  val flush : t -> unit
+  (** Producer only: publish all staged pushes now. Call after the last
+      push so the consumer can see the end of the stream. *)
+
+  val peek : t -> int
+  (** Consumer only: the slot index of the next packet, or [-1] when
+      empty. On observed-empty the consumer's index is published so the
+      producer sees every freed slot. The returned index stays valid
+      until {!advance}. *)
+
+  val buf : t -> int -> bytes
+  (** The slot's byte buffer (payload at offset 0). Only valid for the
+      index {!peek} just returned; contents may be overwritten after
+      {!advance}. *)
+
+  val len : t -> int -> int
+  val qid : t -> int -> int
+
+  val advance : t -> unit
+  (** Consumer only: release the slot {!peek} returned. *)
+
+  val length : t -> int
+  (** Published occupancy (conservative between publications). *)
+end
+
 type result = {
   pkts : int;  (** total packets delivered to consumers *)
   per_queue : int array;  (** packets delivered per queue *)
@@ -40,6 +101,24 @@ type result = {
   domain_stats : Stats.t array;  (** one shard per worker domain *)
   domain_cycles : float array;  (** modelled cycle total per worker *)
   wall_s : float;  (** wall-clock seconds, spawn to join *)
+  busy_s : float array;
+      (** preemption-robust busy seconds per worker domain: the
+          packet-weighted median per-packet chunk cost times packets
+          processed — an estimate of each domain's on-CPU work time
+          that is not inflated by timeslicing when domains outnumber
+          cores (see the implementation's [robust_busy]) *)
+  producer_busy_s : float;  (** same estimate for the steering domain *)
+  eff_wall_s : float;
+      (** the busy-time critical path: [max producer_busy_s (max
+          busy_s)] — what the wall clock would show with one core per
+          domain. The honest basis for parallel-speedup claims on
+          machines with fewer cores than domains, where spawn-to-join
+          [wall_s] cannot improve no matter how good the code is. *)
+  minor_words_per_pkt : float;
+      (** minor-heap words allocated per delivered packet across the
+          producer's push loop and every worker's drain loop
+          ([Gc.minor_words] is domain-local in OCaml 5, so each domain
+          measures its own delta). The GC-discipline regression metric. *)
   stranded : int;  (** packets left in handoff rings (0 = clean shutdown) *)
   drops : int;  (** device-side ring-full drops *)
   sink : int64;  (** summed consumer digests (order-insensitive) *)
@@ -58,6 +137,8 @@ val run :
   ?batch:int ->
   ?ring_capacity:int ->
   ?collect:bool ->
+  ?account:bool ->
+  ?pregen:bool ->
   ?plan:Fault.plan ->
   mq:Mq.t ->
   stack:(int -> Stack.burst_t) ->
@@ -68,24 +149,42 @@ val run :
 (** Run [pkts] packets of [workload] through [mq] with
     [min domains (Mq.queues mq)] worker domains; queue [q] is owned by
     worker [q mod workers]. [stack q] builds the (domain-local) consumer
-    for queue [q]. Workers harvest once a full [batch] per owned queue
-    has accumulated (so amortised per-burst charges match the sequential
-    batched path) and drain completely on shutdown: the injector raises
-    the stop flag only after pushing everything, and workers exit only
-    when stopped {e and} their ring is empty, then sweep their queues
-    dry — so [stranded = 0] and [pkts] equals the injected count unless
-    a device ring overflowed ([drops]).
+    for queue [q]. Workers pop/inject in runs of up to a full [batch]
+    per owned queue, then harvest (so amortised per-burst charges match
+    the sequential batched path) and drain completely on shutdown: the
+    injector raises the stop flag only after pushing and flushing
+    everything, and workers exit only when stopped {e and} their ring
+    re-reads empty, then sweep their queues dry — so [stranded = 0] and
+    [pkts] equals the injected count unless a device ring overflowed
+    ([drops]).
+
+    [~account:false] passes {!Cost.Null} to every consumer: the byte
+    path runs without any cost-model bookkeeping ([domain_cycles] are
+    0), which is the configuration wall-clock and allocation
+    measurements use. Default [true] — identical accounting to the
+    sequential path.
+
+    [~pregen:true] generates and steers the whole workload {e before}
+    the clock starts, so the measured region is the drain machinery
+    itself (handoff, injection, harvest, consume) rather than packet
+    synthesis. Default [false].
+
+    Idle behaviour is adaptive per domain: spin ([Domain.cpu_relax], up
+    to 128 tries), then park in exponentially growing naps (2µs
+    doubling to 256µs); any progress resets the ladder. The per-worker
+    spin/park/wake counts are in each shard's {!Stats.t} idle counters.
 
     With [?plan], every queue is wrapped in a {!Fault.t} (seeded by
-    queue id): workers inject through {!Fault.rx_inject}, harvest
-    through the {!Fault.harvest} recovery path (so [pkts] counts only
-    validated deliveries), flush deferred reorders at shutdown and keep
-    sweeping until every ring is dry despite stuck queues. Per-domain
-    stats shards carry the fault counters ({!Stats.with_faults}), so
-    [stats] reconciles them after the merge.
+    queue id): workers inject through {!Fault.rx_inject} (handing it a
+    private copy of the packet, since the fault layer may defer it),
+    harvest through the {!Fault.harvest} recovery path (so [pkts]
+    counts only validated deliveries), flush deferred reorders at
+    shutdown and keep sweeping until every ring is dry despite stuck
+    queues. Per-domain stats shards carry the fault counters
+    ({!Stats.with_faults}), so [stats] reconciles them after the merge.
 
     Defaults: [domains = 1], [batch = 32], [ring_capacity = 1024],
-    [collect = false], no fault plan. Device counters are reset on
-    entry.
+    [collect = false], [account = true], [pregen = false], no fault
+    plan. Device counters are reset on entry.
 
     @raise Invalid_argument on [domains < 1] or [batch < 1]. *)

@@ -29,10 +29,16 @@ let check_scratch ~who t dst =
       (Printf.sprintf "%s: %d-byte scratch buffer for %d-byte slots" who
          (Bytes.length dst) t.slot_size)
 
-let produce_dev t payload =
+let produce_dev ?len t payload =
   if is_full t then false
   else begin
-    let len = min (Bytes.length payload) t.slot_size in
+    (* [?len] lets a pooled caller hand in a reusable full-slot scratch
+       buffer and still DMA only the meaningful prefix. *)
+    let len =
+      match len with
+      | None -> min (Bytes.length payload) t.slot_size
+      | Some l -> min (min l (Bytes.length payload)) t.slot_size
+    in
     Dma.dev_write t.dma ~off:(off_of t t.prod) payload ~pos:0 ~len;
     t.prod <- t.prod + 1;
     true
@@ -47,14 +53,6 @@ let produce_host t payload =
     true
   end
 
-let consume_host t =
-  if is_empty t then None
-  else begin
-    let b = Bytes.sub (Dma.mem t.dma) (off_of t t.cons) t.slot_size in
-    t.cons <- t.cons + 1;
-    Some b
-  end
-
 let consume_host_into t dst =
   check_scratch ~who:"Ring.consume_host_into" t dst;
   if is_empty t then false
@@ -67,14 +65,6 @@ let consume_host_into t dst =
 let produce_host_batch t payloads =
   List.fold_left (fun n p -> if produce_host t p then n + 1 else n) 0 payloads
 
-let consume_dev t =
-  if is_empty t then None
-  else begin
-    let b = Dma.dev_read t.dma ~off:(off_of t t.cons) ~len:t.slot_size in
-    t.cons <- t.cons + 1;
-    Some b
-  end
-
 let consume_dev_into t dst =
   check_scratch ~who:"Ring.consume_dev_into" t dst;
   if is_empty t then false
@@ -82,6 +72,28 @@ let consume_dev_into t dst =
     Dma.dev_read_into t.dma ~off:(off_of t t.cons) ~buf:dst ~pos:0 ~len:t.slot_size;
     t.cons <- t.cons + 1;
     true
+  end
+
+(* Allocating wrappers over the scratch variants. The datapath never
+   calls these in a hot loop — workers and the device go through
+   [consume_host_into]/[consume_dev_into] with preallocated buffers —
+   but they remain the convenient API for tests and one-shot tooling. *)
+let consume_host t =
+  if is_empty t then None
+  else begin
+    let dst = Bytes.create t.slot_size in
+    let ok = consume_host_into t dst in
+    assert ok;
+    Some dst
+  end
+
+let consume_dev t =
+  if is_empty t then None
+  else begin
+    let dst = Bytes.create t.slot_size in
+    let ok = consume_dev_into t dst in
+    assert ok;
+    Some dst
   end
 
 let reset t =

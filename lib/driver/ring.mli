@@ -40,15 +40,22 @@ val cons_index : t -> int
 val slot_offset : t -> int -> int
 (** Byte offset of a free-running index's slot in [dma t]'s memory. *)
 
-val produce_dev : t -> bytes -> bool
-(** Device writes the next slot (counted as DMA). False when full. *)
+val produce_dev : ?len:int -> t -> bytes -> bool
+(** Device writes the next slot (counted as DMA). False when full.
+    [?len] bounds the copy to a prefix of [payload], so a pooled caller
+    can reuse one full-slot scratch buffer for variable-length payloads
+    without re-slicing; defaults to the whole payload (clamped to the
+    slot size either way). *)
 
 val produce_host : t -> bytes -> bool
 (** Host writes the next slot (not counted). False when full. *)
 
 val consume_host : t -> bytes option
 (** Host reads the next slot (not counted; completions already crossed
-    the bus when the device produced them). *)
+    the bus when the device produced them). Allocates a fresh buffer per
+    slot — a thin wrapper over {!consume_host_into} kept for tests and
+    one-shot tooling; hot paths use the [_into] variant with a reusable
+    scratch buffer. *)
 
 val consume_host_into : t -> bytes -> bool
 (** Like {!consume_host}, but blits the slot into the caller's reusable
@@ -63,7 +70,8 @@ val produce_host_batch : t -> bytes list -> int
     the number written. *)
 
 val consume_dev : t -> bytes option
-(** Device reads the next slot (counted as DMA — TX descriptor fetch). *)
+(** Device reads the next slot (counted as DMA — TX descriptor fetch).
+    Allocating wrapper over {!consume_dev_into}; see {!consume_host}. *)
 
 val consume_dev_into : t -> bytes -> bool
 (** Like {!consume_dev}, but blits the slot into the caller's reusable

@@ -61,14 +61,22 @@ let run ?(pkts = 4096) ?(batch = 32) ?(touch_payload = false) ~device ~workload 
 
 type burst_t = {
   bt_name : string;
-  bt_consume : Cost.t -> Softnic.Feature.env -> Device.burst -> int64;
+  bt_consume : Cost.sink -> Softnic.Feature.env -> Device.burst -> int64;
 }
 
 let of_per_packet (stack : t) =
+  (* Per-packet stacks predate the sink and charge a [Cost.t]
+     unconditionally, so the lift keeps a private scratch ledger to
+     absorb (and discard) their charges when the caller passes [Null].
+     Burst-native stacks skip the bookkeeping entirely instead. *)
+  let scratch = Cost.create () in
   {
     bt_name = stack.st_name;
     bt_consume =
-      (fun ledger env (b : Device.burst) ->
+      (fun sink env (b : Device.burst) ->
+        let ledger =
+          match sink with Cost.Ledger l -> l | Cost.Null -> scratch
+        in
         let acc = ref 0L in
         for i = 0 to b.bs_count - 1 do
           let rx = { pkt = b.bs_pkts.(i); len = b.bs_lens.(i); cmpt = b.bs_cmpts.(i) } in
@@ -127,7 +135,7 @@ let run_batched ?(pkts = 4096) ?(batch = 32) ?(touch_payload = false)
         incr bursts;
         Hashtbl.replace hist n
           (1 + Option.value ~default:0 (Hashtbl.find_opt hist n));
-        sink := Int64.add !sink (bstack.bt_consume ledger env burst);
+        sink := Int64.add !sink (bstack.bt_consume (Cost.ledger ledger) env burst);
         if touch_payload then
           for i = 0 to n - 1 do
             let len = burst.bs_lens.(i) in

@@ -37,17 +37,23 @@ val run :
 
 type burst_t = {
   bt_name : string;
-  bt_consume : Cost.t -> Softnic.Feature.env -> Device.burst -> int64;
+  bt_consume : Cost.sink -> Softnic.Feature.env -> Device.burst -> int64;
 }
 (** A burst-at-a-time receive routine: consume every packet of a
     harvested {!Device.burst}, amortising per-burst machinery (ring
     housekeeping, doorbell, contiguous descriptor loads) over its
-    [bs_count] packets. *)
+    [bs_count] packets. The {!Cost.sink} makes accounting an optional
+    observer: under [Ledger] the routine charges exactly what the inline
+    path always did; under [Null] it skips all cost bookkeeping so the
+    wall-clock hot path pays only for the bytes. *)
 
 val of_per_packet : t -> burst_t
 (** Lift a per-packet stack: consume each burst entry with the original
     routine. Same values, same per-packet charges — the harvest itself is
-    batched but nothing amortises. *)
+    batched but nothing amortises. Per-packet stacks charge a concrete
+    ledger, so under [Null] the lift routes their charges into a private
+    scratch ledger and discards them (correct values, no observable
+    accounting). *)
 
 val run_batched :
   ?pkts:int ->

@@ -13,6 +13,9 @@ type t = {
   faults_detected : int;
   descs_quarantined : int;
   retries : int;
+  spins : int;
+  parks : int;
+  wakes : int;
 }
 
 let make ~name ~pkts ~ledger ~dma_bytes ~drops =
@@ -36,6 +39,9 @@ let make ~name ~pkts ~ledger ~dma_bytes ~drops =
     faults_detected = 0;
     descs_quarantined = 0;
     retries = 0;
+    spins = 0;
+    parks = 0;
+    wakes = 0;
   }
 
 let with_bursts ~bursts ~burst_hist t =
@@ -49,6 +55,8 @@ let with_faults ~injected ~detected ~quarantined ~retries t =
     descs_quarantined = quarantined;
     retries;
   }
+
+let with_idle ~spins ~parks ~wakes t = { t with spins; parks; wakes }
 
 (* Aggregate per-domain shards into one view. Per-packet averages are
    re-derived from packet-weighted totals, so merging is exact: the
@@ -108,6 +116,9 @@ let merge ~name shards =
     descs_quarantined =
       List.fold_left (fun a s -> a + s.descs_quarantined) 0 shards;
     retries = List.fold_left (fun a s -> a + s.retries) 0 shards;
+    spins = List.fold_left (fun a s -> a + s.spins) 0 shards;
+    parks = List.fold_left (fun a s -> a + s.parks) 0 shards;
+    wakes = List.fold_left (fun a s -> a + s.wakes) 0 shards;
   }
 
 let avg_burst t =
@@ -130,5 +141,9 @@ let pp_burst_hist ppf t =
     List.iter (fun (size, n) -> Format.fprintf ppf " %dx%d" n size) t.burst_hist;
     Format.fprintf ppf "@]"
   end
+
+let pp_idle ppf t =
+  Format.fprintf ppf "@[<h>idle: %d spins, %d parks, %d wakes@]" t.spins t.parks
+    t.wakes
 
 let ratio a b = b.cycles_per_pkt /. a.cycles_per_pkt

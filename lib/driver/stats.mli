@@ -16,6 +16,9 @@ type t = {
   faults_detected : int;  (** descriptors the recovery path flagged *)
   descs_quarantined : int;  (** descriptors withheld from the host stack *)
   retries : int;  (** doorbell re-rings issued for stuck queues *)
+  spins : int;  (** busy-poll iterations spent waiting for work *)
+  parks : int;  (** times the worker gave up the core ([sleepf]) while idle *)
+  wakes : int;  (** times work arrived after at least one park *)
 }
 
 val make :
@@ -37,6 +40,11 @@ val with_faults :
     {!make}; {!merge} sums them across shards, so the merged counters
     reconcile exactly with the per-domain fault counters). *)
 
+val with_idle : spins:int -> parks:int -> wakes:int -> t -> t
+(** Attach the adaptive-backoff idle counters (all zero in {!make});
+    {!merge} sums them across shards, so backoff behaviour is observable
+    per domain and in aggregate rather than guessed. *)
+
 val merge : name:string -> t list -> t
 (** Aggregate per-domain stat shards into one view: packet counts, drops
     and bursts sum; per-packet averages (cycles, DMA bytes, breakdown
@@ -55,6 +63,9 @@ val pp_table : Format.formatter -> t list -> unit
 
 val pp_burst_hist : Format.formatter -> t -> unit
 (** One-line burst-size histogram ("Nxsize" pairs). *)
+
+val pp_idle : Format.formatter -> t -> unit
+(** One-line spin/park/wake idle-counter summary. *)
 
 val ratio : t -> t -> float
 (** [ratio a b] = throughput of [a] over [b]. *)

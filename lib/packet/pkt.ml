@@ -39,6 +39,11 @@ let no_view =
     dst_port = 0;
   }
 
+(* Parsing runs once per packet on the datapath, so it builds exactly one
+   [view] record: every field is computed into a local mutable (ocamlopt
+   unboxes non-escaping refs) and the record is constructed once at the
+   end. The staged [{ v with ... }] style read more naturally but cost
+   four or five 13-field minor-heap records per packet. *)
 let parse t =
   let b = t.buf in
   if t.len < Hdr.eth_len then no_view
@@ -58,62 +63,75 @@ let parse t =
       off := !off + Hdr.vlan_len;
       incr tags
     done;
-    let v =
-      { no_view with vlan_off = !vlan_off; vlan_tci = !vlan_tci; ethertype = !ethertype }
-    in
+    let l3_off = ref (-1) in
+    let is_ipv4 = ref false in
+    let is_ipv6 = ref false in
+    let l4_proto = ref (-1) in
+    let l4_off = ref (-1) in
+    let payload_off = ref (-1) in
+    let src_port = ref 0 in
+    let dst_port = ref 0 in
+    (* No helper closures here: a closure capturing the refs would box
+       them and allocate per call. The L4 block is spelled out twice. *)
     if !ethertype = Hdr.Ethertype.ipv4 && !off + Hdr.ipv4_min_len <= t.len then begin
       let l3 = !off in
       let ihl = (Bitops.get_u8 b l3 land 0x0f) * 4 in
-      if ihl < Hdr.ipv4_min_len || l3 + ihl > t.len then { v with l3_off = l3; is_ipv4 = true }
-      else begin
+      l3_off := l3;
+      is_ipv4 := true;
+      if ihl >= Hdr.ipv4_min_len && l3 + ihl <= t.len then begin
         let proto = Bitops.get_u8 b (l3 + 9) in
         let l4 = l3 + ihl in
-        let v = { v with l3_off = l3; is_ipv4 = true; l4_proto = proto } in
-        if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then
+        l4_proto := proto;
+        if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then begin
           let doff = (Bitops.get_u8 b (l4 + 12) lsr 4) * 4 in
-          {
-            v with
-            l4_off = l4;
-            payload_off = min (l4 + doff) t.len;
-            src_port = Bitops.get_u16_be b l4;
-            dst_port = Bitops.get_u16_be b (l4 + 2);
-          }
-        else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then
-          {
-            v with
-            l4_off = l4;
-            payload_off = l4 + Hdr.udp_len;
-            src_port = Bitops.get_u16_be b l4;
-            dst_port = Bitops.get_u16_be b (l4 + 2);
-          }
-        else v
+          l4_off := l4;
+          payload_off := min (l4 + doff) t.len;
+          src_port := Bitops.get_u16_be b l4;
+          dst_port := Bitops.get_u16_be b (l4 + 2)
+        end
+        else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then begin
+          l4_off := l4;
+          payload_off := l4 + Hdr.udp_len;
+          src_port := Bitops.get_u16_be b l4;
+          dst_port := Bitops.get_u16_be b (l4 + 2)
+        end
       end
     end
     else if !ethertype = Hdr.Ethertype.ipv6 && !off + Hdr.ipv6_len <= t.len then begin
       let l3 = !off in
       let proto = Bitops.get_u8 b (l3 + 6) in
       let l4 = l3 + Hdr.ipv6_len in
-      let v = { v with l3_off = l3; is_ipv6 = true; l4_proto = proto } in
-      if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then
+      l3_off := l3;
+      is_ipv6 := true;
+      l4_proto := proto;
+      if proto = Hdr.Proto.tcp && l4 + Hdr.tcp_min_len <= t.len then begin
         let doff = (Bitops.get_u8 b (l4 + 12) lsr 4) * 4 in
-        {
-          v with
-          l4_off = l4;
-          payload_off = min (l4 + doff) t.len;
-          src_port = Bitops.get_u16_be b l4;
-          dst_port = Bitops.get_u16_be b (l4 + 2);
-        }
-      else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then
-        {
-          v with
-          l4_off = l4;
-          payload_off = l4 + Hdr.udp_len;
-          src_port = Bitops.get_u16_be b l4;
-          dst_port = Bitops.get_u16_be b (l4 + 2);
-        }
-      else v
-    end
-    else v
+        l4_off := l4;
+        payload_off := min (l4 + doff) t.len;
+        src_port := Bitops.get_u16_be b l4;
+        dst_port := Bitops.get_u16_be b (l4 + 2)
+      end
+      else if proto = Hdr.Proto.udp && l4 + Hdr.udp_len <= t.len then begin
+        l4_off := l4;
+        payload_off := l4 + Hdr.udp_len;
+        src_port := Bitops.get_u16_be b l4;
+        dst_port := Bitops.get_u16_be b (l4 + 2)
+      end
+    end;
+    {
+      l2_off = 0;
+      vlan_off = !vlan_off;
+      vlan_tci = !vlan_tci;
+      ethertype = !ethertype;
+      l3_off = !l3_off;
+      is_ipv4 = !is_ipv4;
+      is_ipv6 = !is_ipv6;
+      l4_proto = !l4_proto;
+      l4_off = !l4_off;
+      payload_off = !payload_off;
+      src_port = !src_port;
+      dst_port = !dst_port;
+    }
   end
 
 let ipv4_src t v = Bitops.get_u32_be t.buf (v.l3_off + 12)

@@ -715,7 +715,7 @@ let sequential_reference ~stack ~mq ~pkts ~workload =
   let sink = ref 0L in
   let total = ref 0 in
   let f q (b : Device.burst) =
-    sink := Int64.add !sink (stack.Stack.bt_consume ledger env b);
+    sink := Int64.add !sink (stack.Stack.bt_consume (Cost.ledger ledger) env b);
     for i = 0 to b.Device.bs_count - 1 do
       delivered.(q) <-
         Bytes.sub b.Device.bs_pkts.(i) 0 b.Device.bs_lens.(i) :: delivered.(q)
@@ -797,6 +797,131 @@ let test_parallel_shutdown_clean () =
   check ai "per-queue sums to total" pkts
     (Array.fold_left ( + ) 0 r.Parallel.per_queue);
   check ai "one shard per worker" 2 (Array.length r.Parallel.domain_stats)
+
+(* ------------------------------------------------------------------ *)
+(* Pktring: the zero-allocation byte handoff ring *)
+
+let test_pktring_basic () =
+  let r = Parallel.Pktring.create ~capacity:5 ~slot_size:8 in
+  check ai "capacity rounds to pow2" 8 (Parallel.Pktring.capacity r);
+  check ai "slot size" 8 (Parallel.Pktring.slot_size r);
+  check ai "peek empty" (-1) (Parallel.Pktring.peek r);
+  for i = 0 to 7 do
+    let b = Bytes.make 8 (Char.chr (Char.code 'a' + i)) in
+    check ab "push" true (Parallel.Pktring.try_push r b ~len:(i + 1) ~qid:i)
+  done;
+  (* The failing push on a full ring force-publishes the staged slots,
+     so the consumer sees all eight even though the publication batch
+     (16) was never reached. *)
+  check ab "full rejects" false
+    (Parallel.Pktring.try_push r (Bytes.make 8 'z') ~len:8 ~qid:0);
+  for i = 0 to 7 do
+    let s = Parallel.Pktring.peek r in
+    check ab "peek nonempty" true (s >= 0);
+    check ai "len" (i + 1) (Parallel.Pktring.len r s);
+    check ai "qid" i (Parallel.Pktring.qid r s);
+    check Alcotest.char "payload"
+      (Char.chr (Char.code 'a' + i))
+      (Bytes.get (Parallel.Pktring.buf r s) 0);
+    Parallel.Pktring.advance r
+  done;
+  check ai "drained" (-1) (Parallel.Pktring.peek r)
+
+let test_pktring_oversize_truncated () =
+  (* A packet longer than the slot is staged truncated but keeps its true
+     length, so the consumer's inject can reject it on the length check
+     before ever reading the payload. *)
+  let r = Parallel.Pktring.create ~capacity:4 ~slot_size:4 in
+  let big = Bytes.init 10 (fun i -> Char.chr (Char.code '0' + i)) in
+  check ab "push oversize" true (Parallel.Pktring.try_push r big ~len:10 ~qid:3);
+  Parallel.Pktring.flush r;
+  let s = Parallel.Pktring.peek r in
+  check ab "staged" true (s >= 0);
+  check ai "true length survives" 10 (Parallel.Pktring.len r s);
+  check ab "payload truncated to slot" true
+    (Bytes.equal
+       (Bytes.sub (Parallel.Pktring.buf r s) 0 4)
+       (Bytes.of_string "0123"));
+  Parallel.Pktring.advance r;
+  check ai "drained" (-1) (Parallel.Pktring.peek r)
+
+let test_pktring_cross_domain () =
+  (* Producer domain blitting varied-length payloads through a ring much
+     smaller than the stream; the consumer checks content, length and
+     qid in order across many wraparounds and batched publications. *)
+  let slot = 16 and n = 10_000 in
+  let r = Parallel.Pktring.create ~capacity:32 ~slot_size:slot in
+  let payload i = Bytes.make (1 + (i mod slot)) (Char.chr (i land 0xff)) in
+  let producer =
+    Domain.spawn (fun () ->
+        for i = 1 to n do
+          let p = payload i in
+          while
+            not
+              (Parallel.Pktring.try_push r p ~len:(Bytes.length p)
+                 ~qid:(i mod 7))
+          do
+            Domain.cpu_relax ()
+          done
+        done;
+        Parallel.Pktring.flush r)
+  in
+  let got = ref 0 and i = ref 1 and ok = ref true in
+  while !got < n do
+    let s = Parallel.Pktring.peek r in
+    if s < 0 then Domain.cpu_relax ()
+    else begin
+      let expect = payload !i in
+      let l = Parallel.Pktring.len r s in
+      ok :=
+        !ok && l = Bytes.length expect
+        && Parallel.Pktring.qid r s = !i mod 7
+        && Bytes.equal (Bytes.sub (Parallel.Pktring.buf r s) 0 l) expect;
+      Parallel.Pktring.advance r;
+      incr i;
+      incr got
+    end
+  done;
+  Domain.join producer;
+  check ab "all slots arrived intact, in order" true !ok;
+  check ai "drained" (-1) (Parallel.Pktring.peek r)
+
+let test_stats_merge_idle () =
+  let shard name spins parks wakes =
+    Stats.make ~name ~pkts:1 ~ledger:(Cost.create ()) ~dma_bytes:0 ~drops:0
+    |> Stats.with_idle ~spins ~parks ~wakes
+  in
+  let m = Stats.merge ~name:"m" [ shard "a" 10 2 1; shard "b" 5 3 2 ] in
+  check ai "spins sum" 15 m.Stats.spins;
+  check ai "parks sum" 5 m.Stats.parks;
+  check ai "wakes sum" 3 m.Stats.wakes
+
+(* Regression: the hot path must stay inside the pinned minor-heap
+   allocation budget. The pin (shared with the bench gate) comes from
+   the measured footprint — dominated by the device model's per-field
+   completion synthesis, ~170 words/pkt for this fixture's two
+   semantics — with headroom. A pooled-path regression (a per-packet
+   closure, a boxed option on the handoff, a Bytes.create in the drain
+   loop) costs tens to hundreds of extra words per packet and trips
+   this immediately. *)
+let minor_words_budget = 400.0
+
+let test_parallel_gc_budget () =
+  let compiled, mq, workload = parallel_fixture () in
+  let pkts = 4096 in
+  let r =
+    Parallel.run ~domains:1 ~batch:32 ~account:false ~pregen:true ~mq:(mq ())
+      ~stack:(fun _ -> Hoststacks.opendesc_batched ~compiled)
+      ~pkts ~workload:(workload ()) ()
+  in
+  check ai "all delivered" pkts r.Parallel.pkts;
+  check ab
+    (Printf.sprintf "minor words/pkt %.1f within budget %.0f"
+       r.Parallel.minor_words_per_pkt minor_words_budget)
+    true
+    (r.Parallel.minor_words_per_pkt <= minor_words_budget);
+  check ab "hot path skips the cost model" true
+    (Array.for_all (fun c -> c = 0.0) r.Parallel.domain_cycles)
 
 (* ------------------------------------------------------------------ *)
 (* Fault injection: the chaos layer and its recovery path *)
@@ -993,7 +1118,7 @@ let chaos_sequential ~stack ~mq ~plan ~pkts ~workload =
   let sink = ref 0L in
   let total = ref 0 in
   let f q (b : Device.burst) =
-    sink := Int64.add !sink (stack.Stack.bt_consume ledger env b);
+    sink := Int64.add !sink (stack.Stack.bt_consume (Cost.ledger ledger) env b);
     for i = 0 to b.Device.bs_count - 1 do
       delivered.(q) <-
         Bytes.sub b.Device.bs_pkts.(i) 0 b.Device.bs_lens.(i) :: delivered.(q)
@@ -1011,6 +1136,63 @@ let chaos_sequential ~stack ~mq ~plan ~pkts ~workload =
 
 let delivered_equal a b =
   Array.length a = Array.length b && Array.for_all2 (List.equal Bytes.equal) a b
+
+(* Tentpole property: the pooled allocation-free drain (account=false,
+   with and without pregeneration) is byte-identical to the sequential
+   batched path at 1, 2 and 4 domains — and under a chaos plan the hot
+   configuration delivers exactly what the fully-accounted one does,
+   fault counters included. The accounting sink and the scratch pools
+   are observers; they must never change what reaches the consumer. *)
+let prop_hot_path_byte_identical =
+  QCheck.Test.make ~name:"pooled hot path is byte-identical" ~count:4
+    QCheck.(int_bound 100_000)
+    (fun seed ->
+      let compiled, mq, workload = parallel_fixture () in
+      let pkts = 384 in
+      let stack = Hoststacks.opendesc_batched ~compiled in
+      let seq_delivered, seq_total, seq_sink =
+        sequential_reference ~stack ~mq:(mq ()) ~pkts ~workload:(workload ())
+      in
+      let hot_ok =
+        List.for_all
+          (fun domains ->
+            List.for_all
+              (fun pregen ->
+                let r =
+                  Parallel.run ~domains ~batch:32 ~collect:true ~account:false
+                    ~pregen ~mq:(mq ())
+                    ~stack:(fun _ -> stack)
+                    ~pkts ~workload:(workload ()) ()
+                in
+                r.Parallel.pkts = seq_total
+                && r.Parallel.stranded = 0
+                && Int64.equal r.Parallel.sink seq_sink
+                && delivered_equal seq_delivered
+                     (Option.get r.Parallel.delivered))
+              [ false; true ])
+          [ 1; 2; 4 ]
+      in
+      let plan = Fault.default_plan (Int64.of_int seed) in
+      let chaos ~account ~pregen =
+        let r =
+          Parallel.run ~domains:2 ~batch:32 ~collect:true ~account ~pregen
+            ~plan ~mq:(mq ())
+            ~stack:(fun _ -> stack)
+            ~pkts ~workload:(workload ()) ()
+        in
+        let c =
+          Fault.counters_sum (Array.to_list (Option.get r.Parallel.faults))
+        in
+        ( r.Parallel.sink,
+          Option.get r.Parallel.delivered,
+          (c.Fault.injected, c.Fault.quarantined, c.Fault.delivered) )
+      in
+      let s_acc, d_acc, c_acc = chaos ~account:true ~pregen:false in
+      let s_hot, d_hot, c_hot = chaos ~account:false ~pregen:true in
+      hot_ok
+      && Int64.equal s_acc s_hot
+      && delivered_equal d_acc d_hot
+      && c_acc = c_hot)
 
 (* Satellite property: with every rate at 0.0 the chaos datapath — for
    any seed, sequential or parallel — is byte-identical to the bare one,
@@ -1176,7 +1358,15 @@ let () =
           Alcotest.test_case "matches sequential" `Quick
             test_parallel_matches_sequential;
           Alcotest.test_case "clean shutdown" `Quick test_parallel_shutdown_clean;
-        ] );
+          Alcotest.test_case "pktring basic" `Quick test_pktring_basic;
+          Alcotest.test_case "pktring oversize" `Quick
+            test_pktring_oversize_truncated;
+          Alcotest.test_case "pktring cross-domain" `Quick
+            test_pktring_cross_domain;
+          Alcotest.test_case "stats merge idle" `Quick test_stats_merge_idle;
+          Alcotest.test_case "gc budget" `Quick test_parallel_gc_budget;
+        ]
+        @ qsuite [ prop_hot_path_byte_identical ] );
       ( "fault",
         [
           Alcotest.test_case "stuck queue recovers" `Quick
