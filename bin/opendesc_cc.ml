@@ -325,14 +325,42 @@ let diff_cmd =
       & info [ "json" ]
           ~doc:"Machine-readable JSON report (schema opendesc-diff-1).")
   in
-  let run nic against werror json =
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Demand a fresh translation-validation certificate for \
+             recompile-class changes: the newer revision is recompiled and \
+             certified, and the report says whether the stored certificate \
+             covers its contract hash.")
+  in
+  let run nic against werror json certify =
     let intent = Nic_models.Catalog.fig1_intent in
     match (load_nic ~intent nic, load_nic ~intent against) with
     | Error e, _ | _, Error e -> fail "%s" e
     | Ok old_spec, Ok new_spec ->
-        let report = Opendesc.Nic_diff.check old_spec new_spec in
+        let report, cert_result =
+          if certify then
+            Opendesc.Nic_diff.check_certified ~intent old_spec new_spec
+          else (Opendesc.Nic_diff.check old_spec new_spec, None)
+        in
         if json then print_endline (Ev.report_to_json report)
         else Format.printf "%a" Ev.pp report;
+        (match cert_result with
+        | Some (Error (Opendesc.Cache.Cert_compile_error e)) ->
+            prerr_endline
+              ("opendesc_cc: re-certification failed to compile: " ^ e);
+            exit 1
+        | Some (Error (Opendesc.Cache.Cert_failed ds)) ->
+            prerr_endline "opendesc_cc: re-certification rejected the plan:";
+            List.iter
+              (fun d ->
+                prerr_endline
+                  ("  " ^ Opendesc_analysis.Diagnostic.to_string d))
+              ds;
+            exit 1
+        | Some (Ok _) | None -> ());
         if werror && Ev.breaking report then begin
           prerr_endline "opendesc_cc: breaking interface change (--werror)";
           exit 1
@@ -346,7 +374,10 @@ let diff_cmd =
           change a firmware upgrade makes, classified transparent / \
           recompile / breaking, with a concrete configuration witness for \
           each breaking entry.")
-    Term.(ret (const run $ nic_arg $ against_arg $ werror_arg $ json_arg))
+    Term.(
+      ret
+        (const run $ nic_arg $ against_arg $ werror_arg $ json_arg
+       $ certify_arg))
 
 (* --- validate -------------------------------------------------------- *)
 
@@ -830,7 +861,21 @@ let lint_cmd =
       value & flag
       & info [ "json" ] ~doc:"Machine-readable JSON report (schema opendesc-lint-1).")
   in
-  let run targets semantics intent_file werror json =
+  let sarif_arg =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"SARIF 2.1.0 report (for code-review tooling).")
+  in
+  let certify_arg =
+    Arg.(
+      value & flag
+      & info [ "certify" ]
+          ~doc:
+            "Also translation-validate the compiled artifacts (OD021–OD023); \
+             targets that do not compile are linted as usual and skipped \
+             here.")
+  in
+  let run targets semantics intent_file werror json sarif certify =
     let registry = Opendesc.Semantic.default () in
     let intent =
       match (semantics, intent_file) with
@@ -844,18 +889,51 @@ let lint_cmd =
           match intent with Some i -> i | None -> Nic_models.Catalog.fig1_intent
         in
         let models = Nic_models.Catalog.all ~intent:cat_intent () in
+        (* --certify: append translation-validation findings to a target's
+           lints. Best-effort by design — a target that doesn't even load
+           or compile already reports its source-level lints above. *)
+        let certify_diags name spec_opt =
+          if not certify then []
+          else
+            let spec =
+              match spec_opt with
+              | Some s -> Some s
+              | None ->
+                  if Sys.file_exists name then
+                    Result.to_option
+                      (Opendesc.Nic_spec.load
+                         ~name:
+                           (Filename.remove_extension (Filename.basename name))
+                         ~kind:Opendesc.Nic_spec.Fixed_function
+                         (read_file name))
+                  else None
+            in
+            match spec with
+            | None -> []
+            | Some spec -> (
+                match
+                  Opendesc.Compile.run ~registry ~intent:cat_intent spec
+                with
+                | Error _ -> []
+                | Ok compiled -> (
+                    match Opendesc.Compile.certify compiled with
+                    | Ok _ -> []
+                    | Error ds -> ds))
+        in
         let analyze_target name =
           match Nic_models.Catalog.find name models with
           | Some m ->
               Ok
                 ( m.Nic_models.Model.spec.nic_name,
-                  Opendesc.Nic_spec.analyze ~registry ?intent m.spec )
+                  Opendesc.Nic_spec.analyze ~registry ?intent m.spec
+                  @ certify_diags name (Some m.spec) )
           | None ->
               if Sys.file_exists name then
                 Ok
                   ( Filename.remove_extension (Filename.basename name),
                     Opendesc.Nic_spec.analyze_source ~registry ?intent
-                      (read_file name) )
+                      (read_file name)
+                    @ certify_diags name None )
               else
                 Error
                   (Printf.sprintf
@@ -892,7 +970,11 @@ let lint_cmd =
             let errors = count Dg.Error
             and warnings = count Dg.Warning
             and infos = count Dg.Info in
-            if json then begin
+            if sarif then
+              print_string
+                (Opendesc_analysis.Sarif.of_results
+                   ~tool_name:"opendesc_cc lint" results)
+            else if json then begin
               let target_json (name, ds) =
                 Printf.sprintf "    {\"name\": \"%s\", \"diagnostics\": [%s]}"
                   (Dg.json_escape name)
@@ -944,7 +1026,375 @@ let lint_cmd =
     Term.(
       ret
         (const run $ targets_arg $ semantics_arg $ intent_arg $ werror_arg
-       $ json_arg))
+       $ json_arg $ sarif_arg $ certify_arg))
+
+(* --- certify ------------------------------------------------------- *)
+
+let certify_cmd =
+  let module Dg = Opendesc_analysis.Diagnostic in
+  let module Cert = Opendesc_analysis.Certify in
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NIC|FILE"
+          ~doc:
+            "Built-in NIC model names or P4 description files. Default: the \
+             whole built-in catalogue.")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Exit non-zero on warnings, not only on errors.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable JSON report (schema opendesc-certify-1).")
+  in
+  let sarif_arg =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"SARIF 2.1.0 report (for code-review tooling).")
+  in
+  let emit_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "emit-certificate" ] ~docv:"FILE"
+          ~doc:
+            "Write the certificate (format opendesc-cert-1) to $(docv); \
+             requires exactly one target.")
+  in
+  let check_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "check-certificate" ] ~docv:"FILE"
+          ~doc:
+            "Validate a stored certificate against the target's current \
+             contract hash (OD024 on mismatch); requires exactly one target.")
+  in
+  let inject_arg =
+    let kinds = List.map Cert.mutation_name Cert.mutations in
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject" ] ~docv:"MUTATION"
+          ~doc:
+            (Printf.sprintf
+               "Inject a miscompilation into the plan before validation and \
+                require the validator to reject it (one of %s)."
+               (String.concat ", " kinds)))
+  in
+  (* One certification attempt. [spec_of] so catalog targets go through
+     the cache (certificates are memoized and recorded for Evolution)
+     while file targets and custom-registry intents go to the compiler
+     directly. *)
+  let certify_target ~registry ~alpha ~intent ~via_cache spec =
+    if via_cache then
+      match Opendesc.Cache.certify ~alpha ~intent spec with
+      | Ok cert -> Ok cert
+      | Error (Opendesc.Cache.Cert_compile_error e) -> Error (`Compile e)
+      | Error (Opendesc.Cache.Cert_failed ds) -> Error (`Failed ds)
+    else
+      match Opendesc.Compile.run ~alpha ~registry ~intent spec with
+      | Error e -> Error (`Compile e)
+      | Ok compiled -> (
+          match Opendesc.Compile.certify compiled with
+          | Ok cert -> Ok cert
+          | Error ds -> Error (`Failed ds))
+  in
+  let run targets semantics intent_file alpha werror json sarif emit check
+      inject =
+    let registry = Opendesc.Semantic.default () in
+    let custom_intent = intent_file <> None || semantics <> None in
+    let intent =
+      if custom_intent then intent_of_args ~semantics ~intent_file registry
+      else Ok Nic_models.Catalog.fig1_intent
+    in
+    match intent with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let models = Nic_models.Catalog.all ~intent () in
+        let targets =
+          match targets with
+          | [] ->
+              List.map (fun (m : Nic_models.Model.t) -> m.spec.nic_name) models
+          | ts -> ts
+        in
+        let mutation =
+          match inject with
+          | None -> Ok None
+          | Some k -> (
+              match Cert.mutation_of_string k with
+              | Some m -> Ok (Some m)
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown mutation %S (one of %s)" k
+                       (String.concat ", "
+                          (List.map Cert.mutation_name Cert.mutations))))
+        in
+        match mutation with
+        | Error e -> fail "%s" e
+        | Ok mutation -> (
+            let spec_of name =
+              match Nic_models.Catalog.find name models with
+              | Some m -> Ok (m.Nic_models.Model.spec, not custom_intent)
+              | None ->
+                  Result.map
+                    (fun s -> (s, false))
+                    (load_nic ~intent name)
+            in
+            let certify_one name =
+              match spec_of name with
+              | Error e -> Error e
+              | Ok (spec, via_cache) -> (
+                  match mutation with
+                  | None ->
+                      Ok
+                        ( spec,
+                          certify_target ~registry ~alpha ~intent ~via_cache
+                            spec )
+                  | Some m -> (
+                      (* Miscompilation drill: corrupt the plan the way a
+                         codegen bug would and demand rejection. *)
+                      match Opendesc.Compile.run ~alpha ~registry ~intent spec with
+                      | Error e -> Ok (spec, Error (`Compile e))
+                      | Ok compiled ->
+                          let plan =
+                            Cert.inject m (Opendesc.Compile.to_plan compiled)
+                          in
+                          Ok
+                            ( spec,
+                              match
+                                Cert.check
+                                  (Opendesc.Compile.contract compiled)
+                                  plan
+                              with
+                              | Ok cert -> Ok cert
+                              | Error ds -> Error (`Failed ds) )))
+            in
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | t :: rest -> (
+                  match certify_one t with
+                  | Error e -> Error e
+                  | Ok (spec, r) -> collect ((t, spec, r) :: acc) rest)
+            in
+            match collect [] targets with
+            | Error e -> fail "%s" e
+            | Ok results -> (
+                match (mutation, emit, check) with
+                | Some m, _, _ ->
+                    (* Every injected plan must be rejected, with one of the
+                       mutation's expected codes among the diagnostics. *)
+                    let expected = Cert.expected_codes m in
+                    let bad =
+                      List.filter_map
+                        (fun (name, _, r) ->
+                          match r with
+                          | Ok _ ->
+                              Some
+                                (Printf.sprintf
+                                   "%s: injected %s was NOT caught" name
+                                   (Cert.mutation_name m))
+                          | Error (`Compile e) ->
+                              Some (Printf.sprintf "%s: compile error: %s" name e)
+                          | Error (`Failed ds) ->
+                              if
+                                List.exists
+                                  (fun (d : Dg.t) ->
+                                    List.mem d.d_code expected)
+                                  ds
+                              then None
+                              else
+                                Some
+                                  (Printf.sprintf
+                                     "%s: rejected, but none of [%s] fired \
+                                      (got %s)"
+                                     name
+                                     (String.concat "; " expected)
+                                     (String.concat ", "
+                                        (List.sort_uniq Stdlib.compare
+                                           (List.map
+                                              (fun (d : Dg.t) -> d.d_code)
+                                              ds)))))
+                        results
+                    in
+                    if bad = [] then begin
+                      List.iter
+                        (fun (name, _, r) ->
+                          let codes =
+                            match r with
+                            | Error (`Failed ds) ->
+                                List.sort_uniq Stdlib.compare
+                                  (List.map (fun (d : Dg.t) -> d.d_code) ds)
+                            | _ -> []
+                          in
+                          Printf.printf "%s: injected %s rejected (%s)\n" name
+                            (Cert.mutation_name m)
+                            (String.concat ", " codes))
+                        results;
+                      `Ok ()
+                    end
+                    else fail "%s" (String.concat "\n" bad)
+                | None, Some path, _ -> (
+                    match results with
+                    | [ (_, _, Ok cert) ] ->
+                        let oc = open_out path in
+                        Fun.protect
+                          ~finally:(fun () -> close_out oc)
+                          (fun () -> output_string oc (Cert.to_text cert));
+                        Printf.printf
+                          "wrote certificate for %s (contract %s) to %s\n"
+                          cert.c_nic
+                          (String.sub cert.c_contract 0 12)
+                          path;
+                        `Ok ()
+                    | [ (name, _, Error (`Compile e)) ] ->
+                        fail "%s: %s" name e
+                    | [ (name, _, Error (`Failed ds)) ] ->
+                        List.iter
+                          (fun d -> Printf.printf "%s\n" (Dg.to_string d))
+                          ds;
+                        fail "%s: certification failed; no certificate to emit"
+                          name
+                    | _ ->
+                        fail "--emit-certificate requires exactly one target")
+                | None, None, Some path -> (
+                    match results with
+                    | [ (name, spec, _) ] -> (
+                        match Cert.of_text (read_file path) with
+                        | Error e -> fail "%s: %s" path e
+                        | Ok cert -> (
+                            let current = Opendesc.Compile.contract_hash spec in
+                            match Cert.validate cert ~contract_hash:current with
+                            | [] ->
+                                Printf.printf
+                                  "%s: certificate fresh (contract %s, path \
+                                   #%d, %d obligation(s))\n"
+                                  name
+                                  (String.sub cert.c_contract 0 12)
+                                  cert.c_path_index cert.c_obligations;
+                                `Ok ()
+                            | ds ->
+                                List.iter
+                                  (fun d ->
+                                    Printf.printf "%s\n" (Dg.to_string d))
+                                  ds;
+                                exit 1))
+                    | _ ->
+                        fail "--check-certificate requires exactly one target")
+                | None, None, None ->
+                    let diags_of = function
+                      | Ok _ | Error (`Compile _) -> []
+                      | Error (`Failed ds) -> ds
+                    in
+                    let all_diags =
+                      List.concat_map (fun (_, _, r) -> diags_of r) results
+                    in
+                    if sarif then
+                      print_string
+                        (Opendesc_analysis.Sarif.of_results
+                           ~tool_name:"opendesc_cc certify"
+                           (List.map
+                              (fun (name, _, r) -> (name, diags_of r))
+                              results))
+                    else if json then begin
+                      let target_json (name, _, r) =
+                        match r with
+                        | Ok (cert : Cert.certificate) ->
+                            Printf.sprintf
+                              "    {\"name\": \"%s\", \"status\": \
+                               \"certified\", \"certificate\": %s}"
+                              (Dg.json_escape name)
+                              (Cert.certificate_json cert)
+                        | Error (`Compile e) ->
+                            Printf.sprintf
+                              "    {\"name\": \"%s\", \"status\": \
+                               \"compile_error\", \"error\": \"%s\"}"
+                              (Dg.json_escape name) (Dg.json_escape e)
+                        | Error (`Failed ds) ->
+                            Printf.sprintf
+                              "    {\"name\": \"%s\", \"status\": \"failed\", \
+                               \"diagnostics\": [%s]}"
+                              (Dg.json_escape name)
+                              (String.concat ", " (List.map Dg.to_json ds))
+                      in
+                      let certified =
+                        List.length
+                          (List.filter
+                             (fun (_, _, r) -> Result.is_ok r)
+                             results)
+                      in
+                      Printf.printf
+                        "{\n\
+                        \  \"schema\": \"opendesc-certify-1\",\n\
+                        \  \"targets\": [\n\
+                         %s\n\
+                        \  ],\n\
+                        \  \"summary\": {\"certified\": %d, \"failed\": %d}\n\
+                         }\n"
+                        (String.concat ",\n" (List.map target_json results))
+                        certified
+                        (List.length results - certified)
+                    end
+                    else
+                      List.iter
+                        (fun (name, _, r) ->
+                          match r with
+                          | Ok (cert : Cert.certificate) ->
+                              Printf.printf
+                                "%s: certified path #%d (%dB, %d \
+                                 obligation(s), %d read(s), contract %s)\n"
+                                name cert.c_path_index cert.c_size_bytes
+                                cert.c_obligations
+                                (List.length cert.c_reads)
+                                (String.sub cert.c_contract 0 12)
+                          | Error (`Compile e) ->
+                              Printf.printf "%s: compile error: %s\n" name e
+                          | Error (`Failed ds) ->
+                              Printf.printf "%s: certification FAILED\n" name;
+                              List.iter
+                                (fun d ->
+                                  Printf.printf "  %s\n" (Dg.to_string d))
+                                ds)
+                        results;
+                    let compile_errors =
+                      List.exists
+                        (fun (_, _, r) ->
+                          match r with Error (`Compile _) -> true | _ -> false)
+                        results
+                    in
+                    if
+                      Opendesc_analysis.Engine.failing ~werror all_diags
+                      || compile_errors
+                    then exit 1
+                    else `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Translation-validate compiled artifacts: prove each accessor plan \
+          and the shim schedule agree byte-for-byte with the deparser \
+          contract on every feasible completion path, and mint a certificate \
+          keyed by the contract hash."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "For every target the compiler's output — per-path accessor \
+              offset/mask/shift chains and the SoftNIC shim schedule chosen \
+              by the cost model — is lifted into a small codegen IR and \
+              symbolically executed against the deparser on every feasible \
+              completion run the programmed configuration selects. \
+              Violations are located lints: OD021 (plan/deparser value \
+              mismatch), OD022 (uncovered required semantic), OD023 \
+              (cross-path accessor confusion), OD024 (stale certificate). \
+              See docs/CERTIFICATION.md.";
+         ])
+    Term.(
+      ret
+        (const run $ targets_arg $ semantics_arg $ intent_arg $ alpha_arg
+       $ werror_arg $ json_arg $ sarif_arg $ emit_arg $ check_arg $ inject_arg))
 
 (* --- fuzz ---------------------------------------------------------- *)
 
@@ -980,7 +1430,34 @@ let fuzz_cmd =
       & info [ "shrink-budget" ] ~docv:"N"
           ~doc:"Oracle evaluations the shrinker may spend per failure.")
   in
-  let run seed count json out shrink_budget =
+  let negative_arg =
+    Arg.(
+      value & flag
+      & info [ "negative" ]
+          ~doc:
+            "Near-miss mode: mutate each generated spec just past a \
+             contract boundary (duplicate emit, undersized slot, unknown \
+             or over-wide semantic) and assert the specific OD code fires.")
+  in
+  let run seed count json out shrink_budget negative =
+    if negative then begin
+      let report =
+        Opendesc_fuzz.Negative.run ~seed:(Int64.of_int seed) ~count ()
+      in
+      if json then print_endline (Opendesc_fuzz.Negative.to_json report)
+      else print_string (Opendesc_fuzz.Negative.summary report);
+      match Opendesc_fuzz.Negative.failed report with
+      | [] -> `Ok ()
+      | fs ->
+          `Error
+            ( false,
+              Printf.sprintf
+                "%d of %d near-miss mutations did not raise their expected \
+                 lint"
+                (List.length fs)
+                (List.length report.ng_cases) )
+    end
+    else
     let on_spec =
       Option.map
         (fun dir ->
@@ -1015,15 +1492,19 @@ let fuzz_cmd =
            `P
              "Generates random-but-valid NIC descriptions from a seeded \
               grammar and pushes each through the full stack: typecheck, \
-              lint, symbolic-execution soundness, compile, and a three-way \
+              lint, symbolic-execution soundness, compile, translation \
+              validation of the compiled plan, and a three-way \
               byte-identical decode of random and device-emitted completion \
               records, plus a pretty-print/reparse fixpoint. Failing specs \
-              are greedily shrunk to minimal counterexamples.";
+              are greedily shrunk to minimal counterexamples. With \
+              $(b,--negative), each spec is instead mutated just past a \
+              contract boundary and the analyzer must raise the matching \
+              lint.";
          ])
     Term.(
       ret
         (const run $ seed_arg $ count_arg $ json_arg $ out_arg
-       $ shrink_budget_arg))
+       $ shrink_budget_arg $ negative_arg))
 
 (* --- shims --------------------------------------------------------- *)
 
@@ -1063,7 +1544,8 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; fuzz_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; certify_cmd; fuzz_cmd;
+      shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -43,6 +43,11 @@ type afield = {
   af_span : P4.Loc.span;
 }
 
+val fields_of_run : Dep_ir.run -> afield list
+(** Flatten one concrete deparser run into absolute-offset fields — the
+    layout view the codegen pass checks and {!Certify} re-proves
+    compiled plans against. *)
+
 val analyze : input -> Diagnostic.t list
 (** Run all passes. The result is deduplicated, relocated by
     [in_line_offset] and sorted by source position. *)

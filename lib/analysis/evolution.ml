@@ -50,7 +50,28 @@ type entry = {
   e_witness : witness option;
 }
 
-type report = { r_old : string; r_new : string; r_entries : entry list }
+(* Certificate verdict for the Recompile class (docs/CERTIFICATION.md):
+   a Recompile-class change is only safe to hot-swap once the regenerated
+   accessors carry a translation-validation certificate proved against
+   the *new* contract hash. *)
+type cert_status =
+  | Cert_not_required
+  | Cert_fresh of string
+  | Cert_stale of { held : string; current : string }
+  | Cert_missing of string
+
+type report = {
+  r_old : string;
+  r_new : string;
+  r_entries : entry list;
+  r_cert : cert_status option;
+}
+
+let cert_status_to_string = function
+  | Cert_not_required -> "not_required"
+  | Cert_fresh _ -> "fresh"
+  | Cert_stale _ -> "stale"
+  | Cert_missing _ -> "missing"
 
 let worst r =
   List.fold_left
@@ -124,7 +145,7 @@ let match_paths (old_paths : ipath list) (new_paths : ipath list) =
   in
   (pairs, unmatched_old, unmatched_new)
 
-let check (old_i : iface) (new_i : iface) : report =
+let check ?recompile_certificate (old_i : iface) (new_i : iface) : report =
   let entries = ref [] in
   let add e = entries := e :: !entries in
   let pairs, removed, added = match_paths old_i.ev_paths new_i.ev_paths in
@@ -287,7 +308,21 @@ let check (old_i : iface) (new_i : iface) : report =
             (String.concat ";" (List.map string_of_int new_i.ev_tx_sizes));
         e_witness = None;
       };
-  { r_old = old_i.ev_nic; r_new = new_i.ev_nic; r_entries = List.rev !entries }
+  let r_entries = List.rev !entries in
+  let r_cert =
+    match recompile_certificate with
+    | None -> None
+    | Some (held, current) ->
+        if not (List.exists (fun e -> e.e_class = Recompile) r_entries) then
+          Some Cert_not_required
+        else
+          Some
+            (match held with
+            | Some h when String.equal h current -> Cert_fresh current
+            | Some h -> Cert_stale { held = h; current }
+            | None -> Cert_missing current)
+  in
+  { r_old = old_i.ev_nic; r_new = new_i.ev_nic; r_entries; r_cert }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering. *)
@@ -325,12 +360,29 @@ let entry_to_json (e : entry) =
   Buffer.add_char b '}';
   Buffer.contents b
 
+let cert_status_json = function
+  | Cert_not_required -> "{\"status\":\"not_required\"}"
+  | Cert_fresh h ->
+      Printf.sprintf "{\"status\":\"fresh\",\"contract\":\"%s\"}"
+        (Diagnostic.json_escape h)
+  | Cert_stale { held; current } ->
+      Printf.sprintf "{\"status\":\"stale\",\"held\":\"%s\",\"current\":\"%s\"}"
+        (Diagnostic.json_escape held)
+        (Diagnostic.json_escape current)
+  | Cert_missing h ->
+      Printf.sprintf "{\"status\":\"missing\",\"current\":\"%s\"}"
+        (Diagnostic.json_escape h)
+
 let report_to_json (r : report) =
   Printf.sprintf
-    "{\"schema\":\"opendesc-diff-1\",\"old\":\"%s\",\"new\":\"%s\",\"class\":\"%s\",\"entries\":[%s]}"
+    "{\"schema\":\"opendesc-diff-1\",\"old\":\"%s\",\"new\":\"%s\",\"class\":\"%s\"%s,\"entries\":[%s]}"
     (Diagnostic.json_escape r.r_old)
     (Diagnostic.json_escape r.r_new)
     (class_to_string (worst r))
+    (match r.r_cert with
+    | None -> ""
+    | Some c ->
+        Printf.sprintf ",\"recompile_certificate\":%s" (cert_status_json c))
     (String.concat "," (List.map entry_to_json r.r_entries))
 
 let pp_entry ppf (e : entry) =
@@ -342,8 +394,28 @@ let pp_entry ppf (e : entry) =
         w.w_note
   | None -> ()
 
+let pp_cert ppf = function
+  | None -> ()
+  | Some Cert_not_required ->
+      Format.fprintf ppf
+        "recompile certificate: not required (no recompile-class change)@."
+  | Some (Cert_fresh h) ->
+      Format.fprintf ppf "recompile certificate: fresh (contract %s)@."
+        (String.sub h 0 (min 12 (String.length h)))
+  | Some (Cert_stale { held; current }) ->
+      Format.fprintf ppf
+        "recompile certificate: STALE (held %s, current %s) — re-certify \
+         before hot-swap@."
+        (String.sub held 0 (min 12 (String.length held)))
+        (String.sub current 0 (min 12 (String.length current)))
+  | Some (Cert_missing h) ->
+      Format.fprintf ppf
+        "recompile certificate: MISSING (contract %s) — certify before \
+         hot-swap@."
+        (String.sub h 0 (min 12 (String.length h)))
+
 let pp ppf (r : report) =
-  match r.r_entries with
+  (match r.r_entries with
   | [] -> Format.fprintf ppf "no interface changes@."
   | es ->
       Format.fprintf ppf "%s -> %s: %s@." r.r_old r.r_new
@@ -355,4 +427,5 @@ let pp ppf (r : report) =
           | group ->
               Format.fprintf ppf "%s:@." (class_to_string k);
               List.iter (Format.fprintf ppf "  - %a@." pp_entry) group)
-        [ Breaking; Recompile; Transparent ]
+        [ Breaking; Recompile; Transparent ]);
+  pp_cert ppf r.r_cert

@@ -53,13 +53,41 @@ type entry = {
   e_witness : witness option;
 }
 
-type report = { r_old : string; r_new : string; r_entries : entry list }
+(** Verdict on the translation-validation certificate accompanying a
+    Recompile-class change (docs/CERTIFICATION.md): regenerated
+    accessors should not be hot-swapped until a certificate proved
+    against the {e new} contract hash exists. Carried hashes are the hex
+    contract digests. *)
+type cert_status =
+  | Cert_not_required  (** no Recompile-class entry in the report *)
+  | Cert_fresh of string  (** certificate proved against this contract *)
+  | Cert_stale of { held : string; current : string }
+      (** a certificate exists but was proved against [held] ≠ [current] *)
+  | Cert_missing of string  (** no certificate for [current] at all *)
 
-val check : iface -> iface -> report
+type report = {
+  r_old : string;
+  r_new : string;
+  r_entries : entry list;
+  r_cert : cert_status option;
+      (** [None] when the caller didn't supply certificate evidence *)
+}
+
+val cert_status_to_string : cert_status -> string
+(** Stable slug: ["not_required" | "fresh" | "stale" | "missing"]. *)
+
+val check : ?recompile_certificate:string option * string -> iface -> iface -> report
 (** [check old new]: paths are matched by Prov-set similarity; matched
     pairs are compared semantic-by-semantic (presence, placement, width
     — widths judged by {!Absdom} range inclusion), unmatched paths
-    classified whole. *)
+    classified whole.
+
+    [?recompile_certificate:(held, current)] supplies certificate
+    evidence for the new revision: [held] is the contract hash the
+    latest stored certificate was proved against (if any), [current] the
+    new revision's contract hash. When given, [r_cert] reports whether a
+    Recompile-class change is covered; when omitted, [r_cert] is [None]
+    and the report (including its JSON) is unchanged. *)
 
 val worst : report -> klass
 (** The report's overall class (the maximum over entries). *)

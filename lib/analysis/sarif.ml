@@ -1,0 +1,95 @@
+(* SARIF 2.1.0 export (satellite of certified compilation): the same
+   diagnostics the CLI prints, in the interchange format code-review
+   tooling ingests. Rendering is hand-rolled like every other JSON
+   emitter in the tree, with one deliberate property: deterministic
+   output, so goldens and CI artifact diffs are stable. *)
+
+let level_of_severity = function
+  | Diagnostic.Error -> "error"
+  | Diagnostic.Warning -> "warning"
+  | Diagnostic.Info -> "note"
+
+let rule_ids artifacts =
+  List.concat_map (fun (_, ds) -> List.map (fun d -> d.Diagnostic.d_code) ds)
+    artifacts
+  |> List.sort_uniq String.compare
+
+let add_result buf ~uri (d : Diagnostic.t) =
+  let b = Buffer.add_string buf in
+  b "      {\n";
+  b (Printf.sprintf "        \"ruleId\": \"%s\",\n"
+       (Diagnostic.json_escape d.d_code));
+  b (Printf.sprintf "        \"level\": \"%s\",\n"
+       (level_of_severity d.d_severity));
+  let message =
+    match d.d_notes with
+    | [] -> d.d_msg
+    | notes ->
+        d.d_msg ^ " ("
+        ^ String.concat "; " (List.map (fun n -> n.Diagnostic.n_msg) notes)
+        ^ ")"
+  in
+  b (Printf.sprintf "        \"message\": { \"text\": \"%s\" },\n"
+       (Diagnostic.json_escape message));
+  b "        \"locations\": [\n";
+  b "          {\n";
+  b "            \"physicalLocation\": {\n";
+  b (Printf.sprintf
+       "              \"artifactLocation\": { \"uri\": \"%s\" }%s\n"
+       (Diagnostic.json_escape uri)
+       (match d.d_loc with None -> "" | Some _ -> ","));
+  (match d.d_loc with
+  | None -> ()
+  | Some span ->
+      b
+        (Printf.sprintf
+           "              \"region\": { \"startLine\": %d, \"startColumn\": \
+            %d }\n"
+           span.P4.Loc.left.line span.P4.Loc.left.col));
+  b "            }\n";
+  b "          }\n";
+  b "        ]\n";
+  b "      }"
+
+let of_results ~tool_name artifacts =
+  let buf = Buffer.create 2048 in
+  let b = Buffer.add_string buf in
+  b "{\n";
+  b "  \"version\": \"2.1.0\",\n";
+  b
+    "  \"$schema\": \
+     \"https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/Schemata/sarif-schema-2.1.0.json\",\n";
+  b "  \"runs\": [\n";
+  b "    {\n";
+  b "      \"tool\": {\n";
+  b "        \"driver\": {\n";
+  b (Printf.sprintf "          \"name\": \"%s\",\n"
+       (Diagnostic.json_escape tool_name));
+  b "          \"informationUri\": \"docs/LINTS.md\",\n";
+  b "          \"rules\": [\n";
+  let rules = rule_ids artifacts in
+  List.iteri
+    (fun i id ->
+      b
+        (Printf.sprintf "            { \"id\": \"%s\" }%s\n"
+           (Diagnostic.json_escape id)
+           (if i < List.length rules - 1 then "," else "")))
+    rules;
+  b "          ]\n";
+  b "        }\n";
+  b "      },\n";
+  b "      \"results\": [\n";
+  let results =
+    List.concat_map (fun (uri, ds) -> List.map (fun d -> (uri, d)) ds)
+      artifacts
+  in
+  List.iteri
+    (fun i (uri, d) ->
+      add_result buf ~uri d;
+      b (if i < List.length results - 1 then ",\n" else "\n"))
+    results;
+  b "      ]\n";
+  b "    }\n";
+  b "  ]\n";
+  b "}\n";
+  Buffer.contents buf

@@ -19,6 +19,7 @@ type t = {
   cp_total_configs : int;
   cp_max_bytes : int;
   cp_sw_bound : int;
+  cp_obligations : int;
   cp_digest : int32;
 }
 
@@ -30,6 +31,7 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
   let passed = ref 0 in
   let failures = ref [] in
   let paths = ref 0 and configs = ref 0 and max_bytes = ref 0 and sw = ref 0 in
+  let obligations = ref 0 in
   let crc = ref 0xFFFFFFFFl in
   for index = 0 to count - 1 do
     let sseed = Gen.spec_seed ~seed ~index in
@@ -44,7 +46,8 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
         paths := !paths + st.Oracle.st_paths;
         configs := !configs + st.Oracle.st_configs;
         max_bytes := max !max_bytes st.Oracle.st_max_bytes;
-        sw := !sw + st.Oracle.st_sw_bound
+        sw := !sw + st.Oracle.st_sw_bound;
+        obligations := !obligations + st.Oracle.st_obligations
     | Error fl ->
         let still_fails s = Result.is_error (Oracle.check ~seed:sseed s) in
         let r = Shrink.shrink ?budget:shrink_budget ~still_fails sp in
@@ -76,6 +79,7 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
     cp_total_configs = !configs;
     cp_max_bytes = !max_bytes;
     cp_sw_bound = !sw;
+    cp_obligations = !obligations;
     cp_digest = !crc;
   }
 
@@ -98,8 +102,9 @@ let to_json t =
     b.Gen.b_max_emits b.Gen.b_max_configs;
   add
     "  \"totals\": { \"paths\": %d, \"configs\": %d, \"max_path_bytes\": %d, \
-     \"software_bound\": %d },\n"
-    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_sw_bound;
+     \"software_bound\": %d, \"certify_obligations\": %d },\n"
+    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_sw_bound
+    t.cp_obligations;
   add "  \"source_digest\": \"0x%08lx\",\n" t.cp_digest;
   add "  \"failures\": [%s\n  ]\n}"
     (String.concat ","
@@ -126,8 +131,11 @@ let summary t =
   add "fuzz: seed %Ld, %d specs: %d passed, %d failed\n" t.cp_seed t.cp_count
     t.cp_passed
     (List.length t.cp_failures);
-  add "      %d paths, %d configs, largest completion %d B, digest 0x%08lx\n"
-    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_digest;
+  add
+    "      %d paths, %d configs, largest completion %d B, %d certify \
+     obligation(s), digest 0x%08lx\n"
+    t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_obligations
+    t.cp_digest;
   List.iter
     (fun fr ->
       add "  FAIL %s (seed 0x%016Lx) at %s: %s\n" fr.fr_name fr.fr_seed

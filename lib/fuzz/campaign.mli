@@ -30,6 +30,8 @@ type t = {
   cp_total_configs : int;
   cp_max_bytes : int;
   cp_sw_bound : int;
+  cp_obligations : int;
+      (** proof obligations the certify stage discharged, summed *)
   cp_digest : int32;  (** CRC-32 over every rendered source, in order *)
 }
 

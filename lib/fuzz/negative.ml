@@ -1,0 +1,208 @@
+module D = Opendesc_analysis.Diagnostic
+open Opendesc
+
+type mutation =
+  | Duplicate_emit
+  | Oversized_slot
+  | Unknown_semantic
+  | Wide_semantic
+
+let mutations =
+  [ Duplicate_emit; Oversized_slot; Unknown_semantic; Wide_semantic ]
+
+let mutation_name = function
+  | Duplicate_emit -> "duplicate-emit"
+  | Oversized_slot -> "oversized-slot"
+  | Unknown_semantic -> "unknown-semantic"
+  | Wide_semantic -> "wide-semantic"
+
+let expected_code = function
+  | Duplicate_emit -> "OD005"
+  | Oversized_slot -> "OD004"
+  | Unknown_semantic -> "OD010"
+  | Wide_semantic -> "OD017"
+
+(* Duplicate the first emit of every non-empty leaf. Mutating only one
+   leaf could land on a dead branch; hitting all of them guarantees any
+   feasible non-empty run carries the duplicate. *)
+let rec dup_leaf_emits = function
+  | Spec.Leaf [] -> (Spec.Leaf [], false)
+  | Spec.Leaf (m :: ms) -> (Spec.Leaf (m :: m :: ms), true)
+  | Spec.Branch (c, t, e) ->
+      let t', ht = dup_leaf_emits t and e', he = dup_leaf_emits e in
+      (Spec.Branch (c, t', e'), ht || he)
+
+(* The smallest leaf's emit total. A slot below it makes EVERY path —
+   in particular every feasible one — overflow, so OD004 must fire even
+   when the largest leaf happens to be dead. *)
+let min_path_bytes (sp : Spec.t) =
+  let leaf_bytes ms =
+    List.fold_left
+      (fun acc m ->
+        match
+          List.find_opt (fun (h : Spec.header) -> h.h_name = m) sp.sp_headers
+        with
+        | Some h -> acc + Spec.header_bytes h
+        | None -> acc)
+      0 ms
+  in
+  match Spec.leaves sp.sp_tree with
+  | [] -> 0
+  | ls -> List.fold_left (fun acc ms -> min acc (leaf_bytes ms)) max_int ls
+
+(* Rewrite the first field of every emitted header (unemitted headers
+   are invisible to the path-level lints, and any single header may
+   only appear on a dead branch). *)
+let map_emitted_fields (sp : Spec.t) f =
+  let emitted = List.concat (Spec.leaves sp.sp_tree) in
+  let hit = ref false in
+  let headers =
+    List.map
+      (fun (h : Spec.header) ->
+        if not (List.mem h.h_name emitted) then h
+        else
+          match h.h_fields with
+          | [] -> h
+          | fld :: rest ->
+              hit := true;
+              { h with h_fields = f fld :: rest })
+      sp.sp_headers
+  in
+  if !hit then Some { sp with sp_headers = headers } else None
+
+let mutate m (sp : Spec.t) =
+  match m with
+  | Duplicate_emit ->
+      let tree, hit = dup_leaf_emits sp.sp_tree in
+      if hit then Some { sp with sp_tree = tree } else None
+  | Oversized_slot ->
+      let bytes = min_path_bytes sp in
+      if bytes < 1 then None else Some { sp with sp_slot = Some (bytes - 1) }
+  | Unknown_semantic ->
+      map_emitted_fields sp (fun fld ->
+          { fld with Spec.f_semantic = Some "fz_bogus_semantic" })
+  | Wide_semantic ->
+      map_emitted_fields sp (fun fld ->
+          { fld with Spec.f_bits = 72; f_semantic = Some "rss" })
+
+type case = {
+  ng_index : int;
+  ng_seed : int64;
+  ng_name : string;
+  ng_mutation : mutation;
+  ng_expected : string;
+  ng_fired : string list;
+  ng_ok : bool;
+}
+
+type t = {
+  ng_campaign_seed : int64;
+  ng_count : int;
+  ng_cases : case list;
+  ng_skipped : int;
+}
+
+let failed t = List.filter (fun c -> not c.ng_ok) t.ng_cases
+
+let codes_of src =
+  let registry = Semantic.default () in
+  Nic_spec.analyze_source ~registry src
+  |> List.map (fun d -> d.D.d_code)
+  |> List.sort_uniq String.compare
+
+let run ?(bounds = Gen.default_bounds) ~seed ~count () =
+  let cases = ref [] and skipped = ref 0 in
+  for index = 0 to count - 1 do
+    let sseed = Gen.spec_seed ~seed ~index in
+    let name = Printf.sprintf "fzneg%04d" index in
+    let sp = Gen.generate ~bounds ~seed:sseed ~name () in
+    let baseline = codes_of (Spec.render sp) in
+    (* Rotate the mutation with the round, falling forward to the next
+       one that both has a site and whose code is absent from the
+       baseline — otherwise the assertion wouldn't test the mutation. *)
+    let n = List.length mutations in
+    let rec pick k =
+      if k >= n then None
+      else
+        let m = List.nth mutations ((index + k) mod n) in
+        match mutate m sp with
+        | Some sp' when not (List.mem (expected_code m) baseline) ->
+            Some (m, sp')
+        | _ -> pick (k + 1)
+    in
+    match pick 0 with
+    | None -> incr skipped
+    | Some (m, sp') ->
+        let fired = codes_of (Spec.render sp') in
+        let expected = expected_code m in
+        cases :=
+          {
+            ng_index = index;
+            ng_seed = sseed;
+            ng_name = name;
+            ng_mutation = m;
+            ng_expected = expected;
+            ng_fired = fired;
+            ng_ok = List.mem expected fired;
+          }
+          :: !cases
+  done;
+  {
+    ng_campaign_seed = seed;
+    ng_count = count;
+    ng_cases = List.rev !cases;
+    ng_skipped = !skipped;
+  }
+
+let to_json t =
+  let buf = Buffer.create 1024 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "{\n  \"schema\": \"opendesc-fuzz-negative-1\",\n";
+  add "  \"seed\": %Ld,\n" t.ng_campaign_seed;
+  add "  \"count\": %d,\n" t.ng_count;
+  add "  \"cases\": %d,\n" (List.length t.ng_cases);
+  add "  \"skipped\": %d,\n" t.ng_skipped;
+  add "  \"failed\": %d,\n" (List.length (failed t));
+  add "  \"results\": [%s\n  ]\n}"
+    (String.concat ","
+       (List.map
+          (fun c ->
+            Printf.sprintf
+              "\n    { \"index\": %d, \"seed\": \"0x%016Lx\", \"name\": \
+               \"%s\", \"mutation\": \"%s\", \"expected\": \"%s\", \
+               \"fired\": [%s], \"ok\": %b }"
+              c.ng_index c.ng_seed
+              (D.json_escape c.ng_name)
+              (mutation_name c.ng_mutation)
+              c.ng_expected
+              (String.concat ", "
+                 (List.map (fun s -> Printf.sprintf "\"%s\"" s) c.ng_fired))
+              c.ng_ok)
+          t.ng_cases));
+  Buffer.contents buf
+
+let summary t =
+  let buf = Buffer.create 256 in
+  let add fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+  add "negative fuzz: seed %Ld, %d round(s): %d case(s), %d skipped, %d failed\n"
+    t.ng_campaign_seed t.ng_count
+    (List.length t.ng_cases)
+    t.ng_skipped
+    (List.length (failed t));
+  let per m =
+    List.length (List.filter (fun c -> c.ng_mutation = m) t.ng_cases)
+  in
+  add "      %s\n"
+    (String.concat ", "
+       (List.map
+          (fun m -> Printf.sprintf "%s x%d" (mutation_name m) (per m))
+          mutations));
+  List.iter
+    (fun c ->
+      add "  FAIL %s (seed 0x%016Lx): %s expected %s, fired [%s]\n" c.ng_name
+        c.ng_seed
+        (mutation_name c.ng_mutation)
+        c.ng_expected
+        (String.concat ", " c.ng_fired))
+    (failed t);
+  Buffer.contents buf

@@ -1,0 +1,59 @@
+(** Negative fuzzing: near-miss mutations with an expected-lint oracle.
+
+    The positive campaign ({!Campaign}) proves the toolchain accepts
+    everything the generator's grammar produces; this module proves the
+    analyzer still {e rejects} when a generated spec is pushed just past
+    a contract boundary. Each round draws a spec, applies one small
+    mutation that a careless vendor edit could make, and asserts the
+    specific OD code the mutation violates actually fires — and that it
+    did {e not} fire on the unmutated baseline, so the test really
+    exercises the boundary rather than a pre-existing finding. *)
+
+type mutation =
+  | Duplicate_emit  (** emit the same header twice on one path → OD005 *)
+  | Oversized_slot
+      (** declare a [@cmpt_slot] one byte smaller than the smallest
+          path, so every feasible path overflows it → OD004 *)
+  | Unknown_semantic  (** annotate a field with an unregistered name → OD010 *)
+  | Wide_semantic
+      (** widen a [@semantic] field past the 64-bit accessor limit →
+          OD017 *)
+
+val mutations : mutation list
+val mutation_name : mutation -> string
+
+val expected_code : mutation -> string
+(** The OD code the mutated spec must produce. *)
+
+val mutate : mutation -> Spec.t -> Spec.t option
+(** Structurally apply the mutation; [None] when the spec has no site
+    for it (e.g. no leaf emits anything). *)
+
+type case = {
+  ng_index : int;
+  ng_seed : int64;  (** derived spec seed ({!Gen.spec_seed}) *)
+  ng_name : string;
+  ng_mutation : mutation;
+  ng_expected : string;
+  ng_fired : string list;  (** distinct codes on the mutated spec *)
+  ng_ok : bool;  (** expected code among [ng_fired] *)
+}
+
+type t = {
+  ng_campaign_seed : int64;
+  ng_count : int;  (** rounds requested *)
+  ng_cases : case list;  (** one per round with an applicable mutation *)
+  ng_skipped : int;  (** rounds where no mutation had a site *)
+}
+
+val failed : t -> case list
+
+val run : ?bounds:Gen.bounds -> seed:int64 -> count:int -> unit -> t
+(** Deterministic in (seed, count, bounds): round [i] mutates the same
+    spec the positive campaign would draw at index [i], rotating through
+    {!mutations} and falling forward to the next applicable one. *)
+
+val to_json : t -> string
+(** Schema [opendesc-fuzz-negative-1]; every field deterministic. *)
+
+val summary : t -> string

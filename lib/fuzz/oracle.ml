@@ -10,12 +10,16 @@ type stats = {
   st_configs : int;
   st_max_bytes : int;
   st_sw_bound : int;
+  st_obligations : int;
 }
 
 type failure = { fl_stage : string; fl_message : string }
 
 let stage_names =
-  [ "load"; "pretty"; "lint"; "symexec"; "compile"; "differential"; "device" ]
+  [
+    "load"; "pretty"; "lint"; "symexec"; "compile"; "certify"; "differential";
+    "device";
+  ]
 
 let fail stage fmt = Printf.ksprintf (fun m -> Error { fl_stage = stage; fl_message = m }) fmt
 
@@ -245,7 +249,22 @@ let check_compile (spec : Nic_spec.t) =
         fail "compile" "compile bound %d of %d requested semantics"
           (List.length c.Compile.bindings)
           (List.length intent.Intent.fields)
-      else Ok (List.length missing)
+      else Ok (List.length missing, c)
+
+(* ------------------------------------------------------------------ *)
+(* Stage: translation validation. Whatever plan the compiler just
+   produced for the generated spec must certify against the spec's own
+   deparser contract — a machine-generated differential oracle for the
+   certifier itself (docs/CERTIFICATION.md). *)
+
+let check_certify (compiled : Compile.t) =
+  match Compile.certify compiled with
+  | Ok cert -> Ok cert.Opendesc_analysis.Certify.c_obligations
+  | Error ds ->
+      let first =
+        match ds with d :: _ -> D.to_string d | [] -> "(no diagnostic)"
+      in
+      fail "certify" "%d diagnostic(s), first: %s" (List.length ds) first
 
 (* ------------------------------------------------------------------ *)
 (* Stage: three-way byte-identical read-back on random descriptor
@@ -420,7 +439,8 @@ let check_source ?(seed = 0L) ~name src =
       let* () = check_pretty src in
       let* () = check_lint spec in
       let* () = check_symexec rng spec in
-      let* sw_bound = check_compile spec in
+      let* sw_bound, compiled = check_compile spec in
+      let* obligations = check_certify compiled in
       let* () = check_differential rng spec in
       let* () = check_device rng spec in
       Ok
@@ -433,6 +453,7 @@ let check_source ?(seed = 0L) ~name src =
           st_max_bytes =
             List.fold_left (fun a p -> max a (Path.size p)) 0 spec.paths;
           st_sw_bound = sw_bound;
+          st_obligations = obligations;
         }
 
 let check ?seed sp = check_source ?seed ~name:sp.Spec.sp_name (Spec.render sp)

@@ -13,6 +13,10 @@
       lands on a feasible symbolic leaf;
     + [compile] — Eq. 1 solves against an intent derived from the
       spec's own semantics;
+    + [certify] — the compiled plan translation-validates against the
+      spec's deparser contract ({!Opendesc.Compile.certify}): accessor
+      chains agree with the deparser byte-for-byte, shims cover every
+      software-bound semantic, no read escapes the layout;
     + [differential] — on random descriptor bytes, three independent
       decoders (P4 interpreter, synthesized accessors, a bit-by-bit
       reference reader) agree on every field of every path;
@@ -27,6 +31,7 @@ type stats = {
   st_configs : int;  (** context assignments across all paths *)
   st_max_bytes : int;  (** largest completion layout *)
   st_sw_bound : int;  (** intent semantics the compile bound in software *)
+  st_obligations : int;  (** proof obligations the certify stage discharged *)
 }
 
 type failure = { fl_stage : string; fl_message : string }

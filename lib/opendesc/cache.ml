@@ -41,6 +41,27 @@ let entry_of nic =
 
 let canonical_of intent = memo_assoc canonicals intent Intent.canonical
 
+(* Certificate store (docs/CERTIFICATION.md): results keyed by contract
+   hash x intent key, plus the latest certificate granted per
+   (NIC name, intent key) — the record Evolution's Recompile class
+   consults for staleness across firmware revisions. *)
+type cert_error =
+  | Cert_compile_error of string
+  | Cert_failed of Opendesc_analysis.Diagnostic.t list
+
+type cert_status =
+  | Cert_fresh of Opendesc_analysis.Certify.certificate
+  | Cert_stale of Opendesc_analysis.Certify.certificate
+  | Cert_missing
+
+let certs :
+    (string, (Opendesc_analysis.Certify.certificate, cert_error) result)
+    Hashtbl.t =
+  Hashtbl.create 8
+
+let held : (string, Opendesc_analysis.Certify.certificate) Hashtbl.t =
+  Hashtbl.create 8
+
 let set_enabled b = enabled := b
 let is_enabled () = !enabled
 
@@ -48,6 +69,8 @@ let clear () =
   specs := [];
   canonicals := [];
   Hashtbl.reset by_fp;
+  Hashtbl.reset certs;
+  Hashtbl.reset held;
   hits := 0;
   misses := 0
 
@@ -64,22 +87,23 @@ let stats_line () =
     s.misses s.entries
     (if s.entries = 1 then "y" else "ies")
 
+(* Same constituents as {!Compile.signature}, minus the fingerprint
+   (fixed per entry); alpha keyed by its exact bits. *)
+let intent_key ?alpha ?tx_intent ~intent () =
+  String.concat "\x00"
+    [
+      canonical_of intent;
+      Int64.to_string
+        (Int64.bits_of_float
+           (match alpha with Some a -> a | None -> Select.default_alpha));
+      (match tx_intent with Some i -> canonical_of i | None -> "-");
+    ]
+
 let run ?alpha ?tx_intent ~intent (nic : Nic_spec.t) =
   if not !enabled then Compile.run ?alpha ?tx_intent ~intent nic
   else begin
     let e = entry_of nic in
-    (* Same constituents as {!Compile.signature}, minus the fingerprint
-       (fixed per entry); alpha keyed by its exact bits. *)
-    let key =
-      String.concat "\x00"
-        [
-          canonical_of intent;
-          Int64.to_string
-            (Int64.bits_of_float
-               (match alpha with Some a -> a | None -> Select.default_alpha));
-          (match tx_intent with Some i -> canonical_of i | None -> "-");
-        ]
-    in
+    let key = intent_key ?alpha ?tx_intent ~intent () in
     match Hashtbl.find_opt e.results key with
     | Some r ->
         incr hits;
@@ -95,3 +119,42 @@ let run_exn ?alpha ?tx_intent ~intent nic =
   match run ?alpha ?tx_intent ~intent nic with
   | Ok t -> t
   | Error e -> failwith e
+
+let contract_hash_of nic = Digest.to_hex (Digest.string (entry_of nic).fp)
+
+let certify ?alpha ?tx_intent ~intent (nic : Nic_spec.t) =
+  let ikey = intent_key ?alpha ?tx_intent ~intent () in
+  let ckey = contract_hash_of nic ^ "\x00" ^ ikey in
+  let compute () =
+    match run ?alpha ?tx_intent ~intent nic with
+    | Error e -> Error (Cert_compile_error e)
+    | Ok compiled -> (
+        match Compile.certify compiled with
+        | Ok cert -> Ok cert
+        | Error ds -> Error (Cert_failed ds))
+  in
+  let r =
+    if not !enabled then compute ()
+    else
+      match Hashtbl.find_opt certs ckey with
+      | Some r -> r
+      | None ->
+          let r = compute () in
+          Hashtbl.add certs ckey r;
+          r
+  in
+  (match r with
+  | Ok cert -> Hashtbl.replace held (nic.Nic_spec.nic_name ^ "\x00" ^ ikey) cert
+  | Error _ -> ());
+  r
+
+let certificate_status ?alpha ?tx_intent ~intent (nic : Nic_spec.t) =
+  let ikey = intent_key ?alpha ?tx_intent ~intent () in
+  match Hashtbl.find_opt held (nic.Nic_spec.nic_name ^ "\x00" ^ ikey) with
+  | None -> Cert_missing
+  | Some cert ->
+      if
+        String.equal cert.Opendesc_analysis.Certify.c_contract
+          (contract_hash_of nic)
+      then Cert_fresh cert
+      else Cert_stale cert

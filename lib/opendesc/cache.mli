@@ -32,6 +32,50 @@ val run :
 val run_exn :
   ?alpha:float -> ?tx_intent:Intent.t -> intent:Intent.t -> Nic_spec.t -> Compile.t
 
+(** {2 Certificates}
+
+    Translation-validation results ({!Compile.certify}) are memoized
+    alongside compilations, keyed by contract hash × intent key, and the
+    latest certificate granted per (NIC name, intent) is retained so the
+    evolution checker can detect a stale proof after a firmware bump
+    (docs/CERTIFICATION.md). *)
+
+type cert_error =
+  | Cert_compile_error of string  (** Eq. 1 / binding failure *)
+  | Cert_failed of Opendesc_analysis.Diagnostic.t list
+      (** the plan failed translation validation (OD021–OD023) *)
+
+type cert_status =
+  | Cert_fresh of Opendesc_analysis.Certify.certificate
+      (** held certificate matches the spec's current contract hash *)
+  | Cert_stale of Opendesc_analysis.Certify.certificate
+      (** a certificate is held for this NIC name + intent, but it was
+          proved against a different contract (OD024 territory) *)
+  | Cert_missing
+
+val certify :
+  ?alpha:float ->
+  ?tx_intent:Intent.t ->
+  intent:Intent.t ->
+  Nic_spec.t ->
+  (Opendesc_analysis.Certify.certificate, cert_error) result
+(** Compile (through the memo table) and translation-validate, memoized
+    by contract hash × intent key. A success is recorded as the held
+    certificate for {!certificate_status}. *)
+
+val certificate_status :
+  ?alpha:float ->
+  ?tx_intent:Intent.t ->
+  intent:Intent.t ->
+  Nic_spec.t ->
+  cert_status
+(** What the cache currently holds for this NIC name + intent, judged
+    against the spec's current contract hash — the Recompile-before-swap
+    question {!Nic_diff.check_certified} asks. *)
+
+val contract_hash_of : Nic_spec.t -> string
+(** {!Compile.contract_hash} through the cache's memoized fingerprint. *)
+
 val set_enabled : bool -> unit
 (** [false] makes {!run} delegate straight to {!Compile.run} (the CLI's
     [--no-cache]); the table and counters are left untouched. *)

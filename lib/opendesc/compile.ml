@@ -150,6 +150,69 @@ let run ?alpha ?registry ?softnic ?tx_intent ~intent (nic : Nic_spec.t) =
               registry;
             })
 
+(* ------------------------------------------------------------------ *)
+(* Certified compilation: lift this compilation into the analysis
+   layer's plan IR and translation-validate it against the deparser
+   contract (docs/CERTIFICATION.md). *)
+
+let contract_hash (nic : Nic_spec.t) =
+  Digest.to_hex (Digest.string (Nic_spec.fingerprint nic))
+
+let to_plan (t : t) : Opendesc_analysis.Certify.plan =
+  let plan_of_accessor (a : Accessor.t) =
+    {
+      Opendesc_analysis.Certify.ap_name = a.a_name;
+      ap_header = a.a_header;
+      ap_semantic = a.a_semantic;
+      ap_bits = a.a_bits;
+      ap_steps =
+        Opendesc_analysis.Certify.steps_of ~bit_off:a.a_bit_off ~bits:a.a_bits;
+      ap_range = a.a_range;
+    }
+  in
+  let chosen = path t in
+  {
+    Opendesc_analysis.Certify.pl_nic = t.nic.nic_name;
+    pl_contract = contract_hash t.nic;
+    pl_intent =
+      List.map (fun (f : Intent.field) -> (f.if_semantic, f.if_width))
+        t.intent.fields;
+    pl_path_index = chosen.p_index;
+    pl_size_bytes = Path.size chosen;
+    pl_config = t.config;
+    pl_hw =
+      List.filter_map
+        (fun (s, b) ->
+          match b with
+          | Hardware a -> Some (s, plan_of_accessor a)
+          | Software _ -> None)
+        t.bindings;
+    pl_shims =
+      List.filter_map
+        (fun (_, b) ->
+          match b with
+          | Software (f : Softnic.Feature.t) ->
+              Some
+                {
+                  Opendesc_analysis.Certify.sh_semantic = f.semantic;
+                  sh_width = f.width_bits;
+                  sh_cost = f.cost_cycles;
+                }
+          | Hardware _ -> None)
+        t.bindings;
+    pl_fields = List.map plan_of_accessor t.field_accessors;
+  }
+
+let contract (t : t) : Opendesc_analysis.Certify.contract =
+  {
+    Opendesc_analysis.Certify.cf_tenv = t.nic.tenv;
+    cf_deparser = t.nic.deparser;
+    cf_registry = Nic_spec.registry_view t.registry;
+    cf_line_offset = Prelude.line_offset;
+  }
+
+let certify t = Opendesc_analysis.Certify.check (contract t) (to_plan t)
+
 let tx_writer t sem =
   match t.tx_format with
   | None -> None

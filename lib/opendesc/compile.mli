@@ -53,6 +53,28 @@ val datapath_source : t -> string
 
 val ebpf_source : t -> string
 
+val contract_hash : Nic_spec.t -> string
+(** Hex digest of {!Nic_spec.fingerprint} — the contract identity a
+    certificate is keyed by. *)
+
+val to_plan : t -> Opendesc_analysis.Certify.plan
+(** Lift this compilation's artifacts — per-path accessor chains and the
+    shim schedule — into the analysis layer's plan IR. *)
+
+val contract : t -> Opendesc_analysis.Certify.contract
+(** The deparser contract the plan must be validated against. *)
+
+val certify :
+  t ->
+  ( Opendesc_analysis.Certify.certificate,
+    Opendesc_analysis.Diagnostic.t list )
+  result
+(** Translation-validate this compilation: prove every hardware-bound
+    accessor reads exactly the bytes the deparser emits on every
+    feasible completion of the chosen configuration, every required
+    semantic is covered, and no read escapes the layout. [Error]
+    carries OD021–OD023 diagnostics (see docs/CERTIFICATION.md). *)
+
 val tx_writer : t -> string -> (bytes -> int64 -> unit) option
 (** Writer for one TX-intent semantic's field in the chosen TX format
     (None when the semantic is in {!field:tx_missing} or there is no TX

@@ -40,8 +40,30 @@ val pp : Format.formatter -> change list -> unit
 val to_iface : Nic_spec.t -> Opendesc_analysis.Evolution.iface
 (** The pure interface summary the symbolic evolution checker consumes. *)
 
-val check : Nic_spec.t -> Nic_spec.t -> Opendesc_analysis.Evolution.report
+val check :
+  ?recompile_certificate:string option * string ->
+  Nic_spec.t ->
+  Nic_spec.t ->
+  Opendesc_analysis.Evolution.report
 (** [check old_rev new_rev]: the evolution classification — every change
     tagged [Transparent]/[Recompile]/[Breaking], Breaking entries with a
     concrete configuration witness. Supersedes {!compare} for tooling;
-    the flat {!change} list remains for programmatic consumers. *)
+    the flat {!change} list remains for programmatic consumers.
+    [?recompile_certificate] is threaded to
+    {!Opendesc_analysis.Evolution.check}. *)
+
+val check_certified :
+  ?alpha:float ->
+  ?tx_intent:Intent.t ->
+  intent:Intent.t ->
+  Nic_spec.t ->
+  Nic_spec.t ->
+  Opendesc_analysis.Evolution.report
+  * (Opendesc_analysis.Certify.certificate, Cache.cert_error) result option
+(** {!check}, plus certificate enforcement for the Recompile class: when
+    the classification demands recompilation, the new revision is
+    compiled against [intent] and translation-validated through
+    {!Cache.certify}, and the report's [r_cert] says whether the held
+    certificate covers the new contract hash. The second component is
+    the certification result ([None] when no Recompile-class entry
+    demanded one). *)

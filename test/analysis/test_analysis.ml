@@ -669,6 +669,253 @@ let test_evolution_json_schema () =
     = {|{"schema":"opendesc-diff-1","old":"rev-a","new":"rev-a","class":"transparent","entries":[]}|})
 
 (* ------------------------------------------------------------------ *)
+(* Certified compilation (OD021–OD024): the translation validator must
+   accept everything the real compiler emits and reject every seeded
+   miscompilation. Same strategy as the source-level lints above —
+   single mutations, exact codes — but the mutations corrupt the
+   compiled plan, not the source. *)
+
+module Cert = Opendesc_analysis.Certify
+
+let string_contains hay sub =
+  let nh = String.length hay and ns = String.length sub in
+  let rec go i = i + ns <= nh && (String.sub hay i ns = sub || go (i + 1)) in
+  go 0
+
+let fig1 = Nic_models.Catalog.fig1_intent
+
+let compile_for_certify name src =
+  let spec = load_spec name src in
+  let compiled = Opendesc.Compile.run_exn ~intent:fig1 spec in
+  (spec, compiled)
+
+let certificate_exn compiled =
+  match Opendesc.Compile.certify compiled with
+  | Ok cert -> cert
+  | Error ds ->
+      Alcotest.failf "pristine plan failed certification: %s"
+        (String.concat "; " (List.map Dg.to_string ds))
+
+let expect_reject code compiled plan =
+  match Cert.check (Opendesc.Compile.contract compiled) plan with
+  | Ok _ -> Alcotest.failf "mutated plan was certified (%s expected)" code
+  | Error ds -> assert_code ~severity:Dg.Error code ds
+
+let test_certify_pristine_plans () =
+  List.iter
+    (fun src ->
+      let _, compiled = compile_for_certify "cert-ok" src in
+      let cert = certificate_exn compiled in
+      check ab "contract hash matches the spec" true
+        (cert.Cert.c_contract
+        = Opendesc.Compile.contract_hash compiled.Opendesc.Compile.nic);
+      check ab "obligations were discharged" true (cert.Cert.c_obligations > 0);
+      check ai "one certified read per field accessor"
+        (List.length compiled.Opendesc.Compile.field_accessors)
+        (List.length cert.Cert.c_reads);
+      (* serialization round-trips *)
+      match Cert.of_text (Cert.to_text cert) with
+      | Ok cert' -> check ab "to_text/of_text round-trip" true (cert = cert')
+      | Error e -> Alcotest.failf "of_text failed: %s" e)
+    [ legacy; newer; mlx5 ]
+
+let test_od021_wrong_shift () =
+  List.iter
+    (fun src ->
+      let _, compiled = compile_for_certify "cert-21" src in
+      let plan = Opendesc.Compile.to_plan compiled in
+      expect_reject "OD021" compiled (Cert.inject Cert.Wrong_shift plan);
+      expect_reject "OD021" compiled (Cert.inject Cert.Swapped_mask plan))
+    [ legacy; newer; mlx5 ]
+
+let test_od022_dropped_shim () =
+  List.iter
+    (fun src ->
+      let _, compiled = compile_for_certify "cert-22" src in
+      let plan = Opendesc.Compile.to_plan compiled in
+      expect_reject "OD022" compiled (Cert.inject Cert.Dropped_shim plan))
+    [ legacy; mlx5 ]
+
+let test_od023_size_lie () =
+  (* The plan claims a Size for the chosen path that no feasible
+     completion of its configuration actually totals. *)
+  let _, compiled = compile_for_certify "cert-23a" newer in
+  let plan = Opendesc.Compile.to_plan compiled in
+  expect_reject "OD023" compiled
+    { plan with Cert.pl_size_bytes = plan.Cert.pl_size_bytes + 1 }
+
+let test_od023_cross_path_confusion () =
+  (* mlx5 carries "rss" on both the mini hash CQE (bits 0..32 — the
+     cheap path the optimizer picks) and the full CQE (bits 64..96).
+     Pointing the chosen path's rss accessor at the OTHER path's
+     placement is exactly the confusion OD023 names. *)
+  let _, compiled = compile_for_certify "cert-23b" mlx5 in
+  let plan = Opendesc.Compile.to_plan compiled in
+  let rss =
+    match List.assoc_opt "rss" plan.Cert.pl_hw with
+    | Some a -> a
+    | None -> Alcotest.fail "mlx5 plan does not bind rss in hardware"
+  in
+  check ab "rss sits at bit 0 on the chosen mini-CQE path" true
+    (Cert.footprint rss.Cert.ap_steps = Some (0, 32));
+  let confused =
+    { rss with Cert.ap_steps = Cert.steps_of ~bit_off:64 ~bits:32 }
+  in
+  let plan' =
+    {
+      plan with
+      Cert.pl_hw =
+        List.map
+          (fun (s, a) -> if s = "rss" then (s, confused) else (s, a))
+          plan.Cert.pl_hw;
+    }
+  in
+  expect_reject "OD023" compiled plan'
+
+let test_certify_off_by_one () =
+  List.iter
+    (fun src ->
+      let _, compiled = compile_for_certify "cert-ob1" src in
+      let plan = Opendesc.Compile.to_plan compiled in
+      match
+        Cert.check (Opendesc.Compile.contract compiled)
+          (Cert.inject Cert.Off_by_one plan)
+      with
+      | Ok _ -> Alcotest.fail "off-by-one plan was certified"
+      | Error ds ->
+          check ab "OD021 or OD023 fired" true
+            (has "OD021" ds || has "OD023" ds))
+    [ legacy; newer; mlx5 ]
+
+let test_od024_stale_certificate () =
+  let spec_a, compiled = compile_for_certify "cert-evo" newer in
+  let cert = certificate_exn compiled in
+  check ab "matching hash validates" true
+    (Cert.validate cert
+       ~contract_hash:(Opendesc.Compile.contract_hash spec_a)
+    = []);
+  let ds =
+    Cert.validate cert ~contract_hash:"0000feedcafe0000feedcafe00000000"
+  in
+  assert_code ~severity:Dg.Error "OD024" ds;
+  (* The cache's view across a firmware bump: certify revision A, load a
+     widened revision B under the same NIC name, and the held
+     certificate must read as stale until B is re-certified. *)
+  (match Opendesc.Cache.certify ~intent:fig1 spec_a with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "revision A did not certify through the cache");
+  (match Opendesc.Cache.certificate_status ~intent:fig1 spec_a with
+  | Opendesc.Cache.Cert_fresh _ -> ()
+  | _ -> Alcotest.fail "revision A's certificate should be fresh");
+  let spec_b =
+    load_spec "cert-evo"
+      (replace
+         ~sub:
+           {|@semantic("pkt_len")     bit<16> length;
+  bit<8> status;
+  bit<8> errors;|}
+         ~by:{|@semantic("pkt_len")     bit<32> length;|} newer)
+  in
+  (match Opendesc.Cache.certificate_status ~intent:fig1 spec_b with
+  | Opendesc.Cache.Cert_stale held ->
+      check ab "stale certificate names revision A's contract" true
+        (held.Cert.c_contract = Opendesc.Compile.contract_hash spec_a)
+  | _ -> Alcotest.fail "revision B should see a stale certificate");
+  (match Opendesc.Cache.certify ~intent:fig1 spec_b with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "revision B did not certify");
+  match Opendesc.Cache.certificate_status ~intent:fig1 spec_b with
+  | Opendesc.Cache.Cert_fresh _ -> ()
+  | _ -> Alcotest.fail "re-certification should refresh the certificate"
+
+let test_evolution_recompile_certificate () =
+  let old_spec = load_spec "cert-diff" newer in
+  let widened =
+    load_spec "cert-diff"
+      (replace
+         ~sub:
+           {|@semantic("pkt_len")     bit<16> length;
+  bit<8> status;
+  bit<8> errors;|}
+         ~by:{|@semantic("pkt_len")     bit<32> length;|} newer)
+  in
+  (* plain check: no certificate evidence, r_cert stays None and the
+     pinned JSON shape is untouched *)
+  let plain = Opendesc.Nic_diff.check old_spec widened in
+  check ab "r_cert defaults to None" true (plain.Ev.r_cert = None);
+  (* certified check: the Recompile-class change demands (and gets) a
+     fresh certificate for the new revision *)
+  let report, result =
+    Opendesc.Nic_diff.check_certified ~intent:fig1 old_spec widened
+  in
+  check ab "upgrade is recompile-class" true (Ev.worst report = Ev.Recompile);
+  (match result with
+  | Some (Ok _) -> ()
+  | Some (Error _) -> Alcotest.fail "re-certification failed"
+  | None -> Alcotest.fail "recompile-class change did not demand a certificate");
+  (match report.Ev.r_cert with
+  | Some (Ev.Cert_fresh h) ->
+      check ab "certificate covers the new contract" true
+        (h = Opendesc.Compile.contract_hash widened)
+  | _ -> Alcotest.fail "expected a fresh recompile certificate");
+  let j = Ev.report_to_json report in
+  check ab "json carries the certificate verdict" true
+    (string_contains j {|"recompile_certificate":{"status":"fresh"|});
+  (* a self-diff has no Recompile entry: no certificate required,
+     none computed *)
+  let self_report, self_result =
+    Opendesc.Nic_diff.check_certified ~intent:fig1 old_spec old_spec
+  in
+  check ab "self-diff requires no certificate" true
+    (self_report.Ev.r_cert = Some Ev.Cert_not_required);
+  check ab "self-diff computes no certificate" true (self_result = None)
+
+(* QCheck: the certified range of every field accessor contains every
+   value the accessor can concretely read — over the whole catalogue,
+   on random descriptor bytes. This is the certificate's operational
+   meaning: a host trusting [c_reads] never sees a value outside it. *)
+
+let certify_fixtures =
+  lazy
+    (List.map
+       (fun (m : Nic_models.Model.t) ->
+         let compiled = Opendesc.Compile.run_exn ~intent:fig1 m.spec in
+         (compiled, certificate_exn compiled))
+       (Nic_models.Catalog.all ~intent:fig1 ()))
+
+let test_certificate_ranges =
+  QCheck.Test.make
+    ~name:"certified ranges contain every concrete read (whole catalogue)"
+    ~count:1000 QCheck.small_nat
+    (fun seed ->
+      List.iter
+        (fun ((compiled : Opendesc.Compile.t), (cert : Cert.certificate)) ->
+          let size = Opendesc.Path.size (Opendesc.Compile.path compiled) in
+          let rng =
+            Packet.Rng.create
+              (Int64.add 0x9e3779b97f4a7c15L (Int64.of_int seed))
+          in
+          let buf = Packet.Rng.bytes rng (max size 1) in
+          List.iteri
+            (fun i (a : Opendesc.Accessor.t) ->
+              let rname, (lo, hi) = List.nth cert.Cert.c_reads i in
+              if rname <> a.a_header ^ "." ^ a.a_name then
+                QCheck.Test.fail_reportf
+                  "%s: certified read #%d is %s, accessor is %s.%s"
+                  cert.Cert.c_nic i rname a.a_header a.a_name;
+              let v = a.Opendesc.Accessor.a_get buf in
+              if
+                Int64.unsigned_compare v lo < 0
+                || Int64.unsigned_compare v hi > 0
+              then
+                QCheck.Test.fail_reportf
+                  "%s: %s read 0x%Lx outside certified [0x%Lx, 0x%Lx]"
+                  cert.Cert.c_nic rname v lo hi)
+            compiled.Opendesc.Compile.field_accessors)
+        (Lazy.force certify_fixtures);
+      true)
+
+(* ------------------------------------------------------------------ *)
 (* Diagnostic plumbing. *)
 
 let test_diagnostic_ordering_and_render () =
@@ -777,6 +1024,25 @@ let () =
           Alcotest.test_case "transparent and removed" `Quick
             test_evolution_transparent_and_removed;
           Alcotest.test_case "json schema" `Quick test_evolution_json_schema;
+        ] );
+      ( "certification",
+        [
+          Alcotest.test_case "pristine plans certify" `Quick
+            test_certify_pristine_plans;
+          Alcotest.test_case "OD021 wrong shift / swapped mask" `Quick
+            test_od021_wrong_shift;
+          Alcotest.test_case "OD022 dropped shim" `Quick
+            test_od022_dropped_shim;
+          Alcotest.test_case "OD023 size lie" `Quick test_od023_size_lie;
+          Alcotest.test_case "OD023 cross-path confusion" `Quick
+            test_od023_cross_path_confusion;
+          Alcotest.test_case "off-by-one offset rejected" `Quick
+            test_certify_off_by_one;
+          Alcotest.test_case "OD024 stale certificate" `Quick
+            test_od024_stale_certificate;
+          Alcotest.test_case "evolution demands certificate" `Quick
+            test_evolution_recompile_certificate;
+          QCheck_alcotest.to_alcotest test_certificate_ranges;
         ] );
       ( "diagnostics",
         [

@@ -29,7 +29,8 @@ let test_campaign_passes () =
   let r = Campaign.run ~seed:7L ~count:40 () in
   check ai "all pass" 40 r.Campaign.cp_passed;
   check ai "no failures" 0 (List.length r.Campaign.cp_failures);
-  check ab "paths were exercised" true (r.Campaign.cp_total_paths >= 40)
+  check ab "paths were exercised" true (r.Campaign.cp_total_paths >= 40);
+  check ab "certify obligations discharged" true (r.Campaign.cp_obligations > 0)
 
 let test_campaign_deterministic () =
   let a = Campaign.run ~seed:11L ~count:12 () in
@@ -266,6 +267,49 @@ let prop_generated_pretty_fixpoint =
       P4.Ast.equal_program ast1 (P4.Parser.parse_program printed))
 
 (* ------------------------------------------------------------------ *)
+(* Negative fuzzing: near-miss mutations must make the analyzer fire the
+   exact code each mutation violates, on every applicable round. *)
+
+let test_negative_campaign () =
+  let r = Negative.run ~seed:7L ~count:40 () in
+  check ai "no failures" 0 (List.length (Negative.failed r));
+  check ai "every round accounted for" 40
+    (List.length r.Negative.ng_cases + r.Negative.ng_skipped);
+  List.iter
+    (fun m ->
+      check ab (Negative.mutation_name m ^ " exercised") true
+        (List.exists
+           (fun (c : Negative.case) -> c.ng_mutation = m)
+           r.Negative.ng_cases))
+    Negative.mutations
+
+let test_negative_deterministic () =
+  let a = Negative.run ~seed:11L ~count:12 () in
+  let b = Negative.run ~seed:11L ~count:12 () in
+  check astr "identical JSON reports" (Negative.to_json a) (Negative.to_json b)
+
+let test_negative_expected_codes () =
+  List.iter2
+    (fun m code -> check astr (Negative.mutation_name m) code
+        (Negative.expected_code m))
+    Negative.mutations
+    [ "OD005"; "OD004"; "OD010"; "OD017" ]
+
+let test_negative_no_site () =
+  (* A spec whose dispatch tree emits nothing offers no mutation site:
+     the mutator must decline rather than assert a code that cannot
+     fire. *)
+  let sp =
+    Gen.generate ~seed:(Gen.spec_seed ~seed:7L ~index:0) ~name:"fzneg" ()
+  in
+  let bare = { sp with Spec.sp_tree = Spec.Leaf []; sp_slot = None } in
+  List.iter
+    (fun m ->
+      check ab (Negative.mutation_name m ^ " has no site") true
+        (Negative.mutate m bare = None))
+    Negative.mutations
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   Alcotest.run "fuzz"
@@ -298,4 +342,12 @@ let () =
       ( "pretty",
         Alcotest.test_case "catalog fixpoint" `Quick test_catalog_pretty_fixpoint
         :: qsuite [ prop_generated_pretty_fixpoint ] );
+      ( "negative",
+        [
+          Alcotest.test_case "40 rounds reject" `Quick test_negative_campaign;
+          Alcotest.test_case "deterministic" `Quick test_negative_deterministic;
+          Alcotest.test_case "expected codes" `Quick
+            test_negative_expected_codes;
+          Alcotest.test_case "no site declines" `Quick test_negative_no_site;
+        ] );
     ]
