@@ -1506,6 +1506,202 @@ let fuzz_cmd =
         (const run $ seed_arg $ count_arg $ json_arg $ out_arg
        $ shrink_budget_arg $ negative_arg))
 
+(* --- upgrade ------------------------------------------------------- *)
+
+let upgrade_cmd =
+  let module U = Driver.Upgrade in
+  let old_arg =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"NIC"
+          ~doc:"The running revision: built-in model name or P4 file.")
+  in
+  let new_arg =
+    Arg.(
+      required
+      & pos 1 (some string) None
+      & info [] ~docv:"NEW"
+          ~doc:"The candidate revision: built-in model name or P4 file.")
+  in
+  let queues_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "queues" ] ~docv:"N" ~doc:"Queue count of the multi-queue device.")
+  in
+  let domains_arg =
+    Arg.(
+      value & opt int 1
+      & info [ "domains" ] ~docv:"N"
+          ~doc:
+            "Worker domains. 1 (the default) runs the deterministic \
+             interleaved engine whose output is bit-reproducible from the \
+             seed; >1 runs the domain-parallel epoch protocol.")
+  in
+  let pkts_arg =
+    Arg.(
+      value & opt int 4096
+      & info [ "pkts" ] ~docv:"N" ~doc:"Packets to stream across the swap.")
+  in
+  let at_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "at" ] ~docv:"N"
+          ~doc:"Packet count at which the swap is requested (default pkts/2).")
+  in
+  let batch_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "batch" ] ~docv:"N" ~doc:"Harvest burst capacity per queue.")
+  in
+  let seed_arg =
+    Arg.(
+      value & opt int 42
+      & info [ "seed" ] ~docv:"N"
+          ~doc:"Workload and fault-plan seed: the run replays from this integer.")
+  in
+  let intensity_arg =
+    Arg.(
+      value & opt float 1.0
+      & info [ "intensity" ] ~docv:"K"
+          ~doc:"Scale every default chaos fault rate by K (clamped to 1).")
+  in
+  let no_chaos_arg =
+    Arg.(
+      value & flag
+      & info [ "no-chaos" ]
+          ~doc:"Stream fault-free (the fault layer still accounts packets).")
+  in
+  let dry_arg =
+    Arg.(
+      value & flag
+      & info [ "dry-run" ]
+          ~doc:
+            "Classification and certificate gate only: report what the swap \
+             would do without standing up a datapath.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Machine-readable outcome (schema opendesc-upgrade-1); only \
+             deterministic fields, so pinned-seed output is bit-reproducible.")
+  in
+  let drill_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "drill" ] ~docv:"D"
+          ~doc:
+            "Certificate-gate failure drill: $(b,stale) (only the old \
+             revision's certificate is held), $(b,missing) (no certificate \
+             at all), or $(b,inject:MUT) (mutate the regenerated plan so \
+             certification fails; MUT as in 'certify --inject').")
+  in
+  let run old_name new_name semantics intent_file alpha queues domains pkts at
+      batch seed intensity no_chaos dry json drill_s =
+    let registry = Opendesc.Semantic.default () in
+    (* The canonical deployment intent: an RSS consumer. *)
+    let semantics =
+      match (semantics, intent_file) with
+      | None, None -> Some "rss,pkt_len"
+      | _ -> semantics
+    in
+    match intent_of_args ~semantics ~intent_file registry with
+    | Error e -> fail "%s" e
+    | Ok intent -> (
+        let drill =
+          match drill_s with
+          | None -> Ok None
+          | Some s -> (
+              match U.drill_of_string s with
+              | Some d -> Ok (Some d)
+              | None ->
+                  Error
+                    (Printf.sprintf
+                       "unknown drill %S (stale | missing | inject:<mutation>)"
+                       s))
+        in
+        match drill with
+        | Error e -> fail "%s" e
+        | Ok drill -> (
+            match
+              (load_nic ~intent old_name, load_nic ~intent new_name)
+            with
+            | Error e, _ | _, Error e -> fail "%s" e
+            | Ok old_spec, Ok new_spec -> (
+                let outcome =
+                  if dry then
+                    U.dry_run ~alpha ?drill ~intent ~old_spec ~new_spec ()
+                  else
+                    let seed64 = Int64.of_int seed in
+                    let plan =
+                      if no_chaos then Driver.Fault.zero_plan seed64
+                      else
+                        Driver.Fault.scale intensity
+                          (Driver.Fault.default_plan seed64)
+                    in
+                    U.run ~queues ~domains ~batch ~pkts ?at ~seed:seed64
+                      ~plan ~alpha ?drill ~intent ~old_spec ~new_spec ()
+                in
+                match outcome with
+                | Error e -> fail "%s" e
+                | Ok o ->
+                    if json then print_endline (U.to_json o)
+                    else Format.printf "%a" U.pp o;
+                    let clean =
+                      o.U.o_lost = 0 && o.U.o_reconciled && o.U.o_torn = 0
+                      && o.U.o_upgrade_errors = 0
+                    in
+                    if o.U.o_dry then `Ok ()
+                    else (
+                      match o.U.o_action with
+                      | U.Applied when clean -> `Ok ()
+                      | U.Applied ->
+                          prerr_endline
+                            "opendesc_cc: swap applied but packet accounting \
+                             failed";
+                          exit 1
+                      | U.Refused r ->
+                          prerr_endline ("opendesc_cc: swap refused: " ^ r);
+                          exit 1
+                      | U.Quarantined ->
+                          Printf.eprintf
+                            "opendesc_cc: breaking change quarantined: %d \
+                             delivered, %d quarantined, %d withheld, lost %d\n"
+                            o.U.o_delivered o.U.o_quarantined o.U.o_withheld
+                            o.U.o_lost;
+                          exit 1))))
+  in
+  Cmd.v
+    (Cmd.info "upgrade"
+       ~doc:
+         "Live contract hot-swap: stream packets through a running datapath \
+          on the old revision, classify the new revision's diff against the \
+          deployment's served intent, and apply / refuse / quarantine the \
+          swap at a quiescent point with every packet accounted."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "Transparent changes apply immediately; recompile-class changes \
+              recompile in the background and swap only under a \
+              translation-validation certificate that is fresh against the \
+              new contract hash (stale or missing certificates refuse the \
+              swap, leaving the datapath on the old revision); breaking \
+              changes drain in-flight completions and quarantine the \
+              transition. Exit status is non-zero unless the swap applied \
+              with zero packet loss and exact counter reconciliation.";
+         ])
+    Term.(
+      ret
+        (const run $ old_arg $ new_arg $ semantics_arg $ intent_arg
+       $ alpha_arg $ queues_arg $ domains_arg $ pkts_arg $ at_arg $ batch_arg
+       $ seed_arg $ intensity_arg $ no_chaos_arg $ dry_arg $ json_arg
+       $ drill_arg))
+
 (* --- shims --------------------------------------------------------- *)
 
 let shims_cmd =
@@ -1545,7 +1741,7 @@ let main =
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
       diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; certify_cmd; fuzz_cmd;
-      shims_cmd;
+      upgrade_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -1,0 +1,55 @@
+/* Firmware fixture, revision "broken": a vendor upgrade that silently
+   drops the RSS hash from the writeback entirely — the flow-steering
+   offload is gone from every completion path, not merely moved. For a
+   deployment whose served intent includes rss this is Breaking on the
+   active path: no recompilation can restore the promise, so a live
+   upgrade must refuse to cut over and instead drain + quarantine the
+   transition (see docs/UPGRADE.md and the CI upgrade smoke leg). */
+
+header e1000_ctx_t { bit<1> use_rss; }
+
+header e1000_tx_desc_t {
+  @semantic("buf_addr") bit<64> addr;
+  bit<16> length;
+  bit<8>  cmd;
+  bit<8>  sta;
+  @semantic("vlan") bit<16> vlan;
+}
+
+header e1000x_csum_cmpt_t {
+  @semantic("ip_id")   bit<16> ip_id;
+  bit<16> rsvd;
+  @semantic("pkt_len") bit<32> length;
+}
+
+header e1000x_rss_cmpt_t {
+  @semantic("pkt_len") bit<16> length;
+  @semantic("vlan")    bit<16> vlan;
+  bit<32> rsvd;
+}
+
+struct e1000x_meta_t {
+  e1000x_rss_cmpt_t  rss;
+  e1000x_csum_cmpt_t legacy;
+}
+
+parser E1000DescParser(desc_in d, in e1000_ctx_t h2c_ctx,
+                       out e1000_tx_desc_t desc_hdr) {
+  state start {
+    d.extract(desc_hdr);
+    transition accept;
+  }
+}
+
+@cmpt_deparser @cmpt_slot(8)
+control E1000CmptDeparser(cmpt_out o, in e1000_ctx_t ctx,
+                          in e1000_tx_desc_t desc_hdr,
+                          in e1000x_meta_t pipe_meta) {
+  apply {
+    if (ctx.use_rss == 1) {
+      o.emit(pipe_meta.rss);
+    } else {
+      o.emit(pipe_meta.legacy);
+    }
+  }
+}

@@ -1,95 +1,93 @@
-(* Evolvability: surviving a firmware upgrade without driver patches.
+(* Evolvability: surviving a firmware upgrade without driver patches —
+   live, with packets in flight.
 
-   A vendor revises the completion layout — fields move, a new offload
-   appears (exactly the churn the paper cites from the mlx5 mailing
-   list). The application's code and intent are unchanged; only the
-   shipped P4 description differs. OpenDesc recompiles, the accessors
-   land on the new offsets, and the new offload becomes usable the moment
-   the description mentions it.
+   A vendor revises the completion layout (exactly the churn the paper
+   cites from the mlx5 mailing list): fields move, an offload appears on
+   one path and disappears from another. The application's code and
+   intent are unchanged; only the shipped P4 description differs. This
+   demo drives the whole upgrade protocol (Driver.Upgrade) against the
+   e1000 firmware fixtures:
+
+   - classify the diff, then narrow it to what THIS deployment serves
+     (globally the bump is breaking — ip_checksum vanishes from the
+     legacy path — but an RSS consumer on path 1 only sees
+     recompile-class moves);
+   - hot-swap a running 2-queue datapath at a quiescent point, under
+     fault injection, with every packet accounted and zero loss;
+   - refuse the same swap when the translation-validation certificate
+     is stale (the certificate gate);
+   - quarantine a revision that genuinely breaks the served intent.
 
    Run with: dune exec examples/firmware_upgrade.exe *)
 
-let firmware_v1 =
-  {|
-/* rev A: hash first, no flow tag */
-header nic_ctx_t { bit<1> rsvd; }
-header cmpt_t {
-  @semantic("rss")     bit<32> hash;
-  @semantic("pkt_len") bit<16> len;
-  @semantic("vlan")    bit<16> vlan;
-}
-control CmptDeparser(cmpt_out o, in nic_ctx_t ctx, in cmpt_t m) {
-  apply { o.emit(m); }
-}
-|}
+module U = Driver.Upgrade
 
-let firmware_v2 =
-  {|
-/* rev B: layout reshuffled, flow_tag offload added */
-header nic_ctx_t { bit<1> rsvd; }
-header cmpt_t {
-  @semantic("pkt_len") bit<16> len;
-  @semantic("vlan")    bit<16> vlan;
-  @semantic("flow_id") bit<32> flow_tag;   /* new in rev B */
-  @semantic("rss")     bit<32> hash;       /* moved */
-}
-control CmptDeparser(cmpt_out o, in nic_ctx_t ctx, in cmpt_t m) {
-  apply { o.emit(m); }
-}
-|}
+let read_fixture name =
+  let candidates = [ Filename.concat "firmware" name;
+                     Filename.concat (Filename.concat "examples" "firmware") name ] in
+  match List.find_opt Sys.file_exists candidates with
+  | None -> failwith ("fixture not found: " ^ name)
+  | Some path ->
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in ic)
+        (fun () -> really_input_string ic (in_channel_length ic))
 
-(* The application, written once. *)
-let intent = Opendesc.Intent.make [ ("rss", 32); ("vlan", 16) ]
+let load name =
+  Opendesc.Nic_spec.load_exn
+    ~name:(Filename.remove_extension name)
+    ~kind:Opendesc.Nic_spec.Fixed_function (read_fixture name)
 
-let drive name src =
-  Printf.printf "=== firmware %s ===\n" name;
-  let spec = Opendesc.Nic_spec.load_exn ~name ~kind:Opendesc.Nic_spec.Fixed_function src in
-  let compiled = Opendesc.Compile.run_exn ~intent spec in
-  List.iter
-    (fun (sem, binding) ->
-      match binding with
-      | Opendesc.Compile.Hardware (a : Opendesc.Accessor.t) ->
-          Printf.printf "  %-8s -> completion bits [%d, %d)\n" sem a.a_bit_off
-            (a.a_bit_off + a.a_bits)
-      | Opendesc.Compile.Software _ -> Printf.printf "  %-8s -> software\n" sem)
-    compiled.bindings;
-  (* End-to-end check on the simulated device. *)
-  let model = Nic_models.Model.make spec in
-  let device = Driver.Device.create_exn ~config:compiled.config model in
-  let flow =
-    Packet.Fivetuple.make ~src_ip:0x0a00002al ~dst_ip:0xc0a80001l ~src_port:1042
-      ~dst_port:443 ~proto:Packet.Hdr.Proto.tcp
-  in
-  let pkt =
-    Packet.Builder.ipv4 ~vlan:214 ~flow (Packet.Builder.Tcp { seq = 1l; flags = 0x18 })
-  in
-  assert (Driver.Device.rx_inject device pkt);
-  (match Driver.Device.rx_consume device with
-  | Some (_, _, cmpt) ->
-      let read sem =
-        match List.assoc sem compiled.bindings with
-        | Opendesc.Compile.Hardware a -> a.a_get cmpt
-        | Opendesc.Compile.Software _ -> assert false
-      in
-      let expected =
-        Softnic.Toeplitz.hash_pkt ~key:(Driver.Device.env device).rss_key pkt
-          (Packet.Pkt.parse pkt)
-      in
-      Printf.printf "  rss read 0x%08Lx (expected 0x%08lx)   vlan read %Ld (expected 214)\n"
-        (read "rss") expected (read "vlan")
-  | None -> assert false);
-  compiled
+(* The application, written once: an RSS consumer. *)
+let intent = Opendesc.Intent.make [ ("rss", 32); ("pkt_len", 16) ]
 
 let () =
-  let _ = drive "rev-A" firmware_v1 in
-  print_newline ();
-  let _ = drive "rev-B" firmware_v2 in
-  print_newline ();
-  (* The new rev-B offload is available to any app that asks — no driver
-     or framework release in between. *)
-  let spec = Opendesc.Nic_spec.load_exn ~name:"rev-B" ~kind:Opendesc.Nic_spec.Fixed_function firmware_v2 in
-  let c = Opendesc.Compile.run_exn ~intent:(Opendesc.Intent.make [ ("flow_id", 32) ]) spec in
-  Printf.printf "rev-B flow_id offload: %s\n"
-    (match List.assoc "flow_id" c.bindings with
-    | Opendesc.Compile.Hardware a -> Printf.sprintf "hardware at bit %d" a.a_bit_off
-    | Opendesc.Compile.Software _ -> "software")
+  let rev_a = load "e1000_rev_a.p4" in
+  let rev_b = load "e1000_rev_b.p4" in
+  let rev_broken = load "e1000_rev_broken.p4" in
+  let seed = 7L in
+  let plan = Driver.Fault.default_plan seed in
+
+  (* 1. The happy path: recompile-class for this deployment, certified,
+     applied live with zero packet loss. *)
+  print_endline "--- live hot-swap: rev A -> rev B (certified) ---";
+  (match
+     U.run ~queues:2 ~pkts:2048 ~seed ~plan ~intent ~old_spec:rev_a
+       ~new_spec:rev_b ()
+   with
+  | Error e -> failwith e
+  | Ok o ->
+      Format.printf "%a@." U.pp o;
+      assert (o.U.o_action = U.Applied);
+      assert (o.U.o_lost = 0 && o.U.o_reconciled);
+      assert (o.U.o_torn = 0 && o.U.o_upgrade_errors = 0));
+
+  (* 2. The certificate gate: same swap, but the deployment only holds
+     rev A's certificate — the hot-swap is refused and the datapath
+     keeps serving rev A. *)
+  print_endline "--- certificate gate: stale certificate refuses the swap ---";
+  (match
+     U.run ~queues:2 ~pkts:2048 ~seed ~plan ~drill:U.Drill_stale ~intent
+       ~old_spec:rev_a ~new_spec:rev_b ()
+   with
+  | Error e -> failwith e
+  | Ok o ->
+      Format.printf "%a@." U.pp o;
+      (match o.U.o_action with
+      | U.Refused _ -> ()
+      | _ -> assert false);
+      assert (o.U.o_epoch = 0 && o.U.o_lost = 0));
+
+  (* 3. A genuinely breaking revision: rss is gone from every path, so
+     the swap quarantines — in-flight completions drain, the remainder
+     of the stream is withheld, nothing is lost. *)
+  print_endline "--- breaking revision: drain and quarantine ---";
+  match
+    U.run ~queues:2 ~pkts:2048 ~seed ~plan ~intent ~old_spec:rev_a
+      ~new_spec:rev_broken ()
+  with
+  | Error e -> failwith e
+  | Ok o ->
+      Format.printf "%a@." U.pp o;
+      assert (o.U.o_action = U.Quarantined);
+      assert (o.U.o_withheld > 0 && o.U.o_lost = 0 && o.U.o_reconciled)

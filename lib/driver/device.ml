@@ -1,5 +1,5 @@
 type t = {
-  model : Nic_models.Model.t;
+  mutable model : Nic_models.Model.t;
   env : Softnic.Feature.env;
   mutable config : Opendesc.Context.assignment;
   mutable active_path : Opendesc.Path.t;
@@ -126,6 +126,51 @@ let configure t config =
       Ok ()
 
 let active_path t = t.active_path
+
+(* Live firmware swap: replace the behavioural model (the "flashed"
+   contract) in place, keeping the rings, the DMA counters and the
+   feature environment — so the RSS key, clock and installed flow marks
+   survive and steering decisions are unchanged. Only legal at a
+   quiescent point: outstanding completions were serialised under the
+   old layout and would be trimmed to the new one on harvest. *)
+let upgrade t ~config (model : Nic_models.Model.t) =
+  match path_for_config model.spec config with
+  | None ->
+      Error
+        (Format.asprintf "%s: context %a selects no completion path"
+           model.spec.nic_name Opendesc.Context.pp config)
+  | Some path ->
+      if Ring.available t.cmpt_ring > 0 then
+        Error
+          (Printf.sprintf "%s: %d completion(s) in flight — drain before upgrade"
+             t.model.spec.nic_name
+             (Ring.available t.cmpt_ring))
+      else if max_cmpt_size model.spec > Ring.slot_size t.cmpt_ring then
+        Error
+          (Printf.sprintf
+             "%s: new completion layout (%dB) exceeds the provisioned ring slot \
+              (%dB)"
+             model.spec.nic_name (max_cmpt_size model.spec)
+             (Ring.slot_size t.cmpt_ring))
+      else if
+        List.exists
+          (fun f -> Opendesc.Descparser.size f > Ring.slot_size t.tx_ring)
+          model.spec.tx_formats
+      then
+        Error
+          (Printf.sprintf
+             "%s: a new TX descriptor format exceeds the provisioned ring slot \
+              (%dB)"
+             model.spec.nic_name (Ring.slot_size t.tx_ring))
+      else begin
+        t.model <- model;
+        t.config <- config;
+        t.active_path <- path;
+        t.tx_format <- smallest_tx model.spec;
+        (* [resolve_f] reads [t.model] at call time, so the closure
+           installed at [create] now resolves against the new firmware. *)
+        Ok ()
+      end
 
 let install_mark t flow mark = Hashtbl.replace t.env.flow_marks flow mark
 let model t = t.model

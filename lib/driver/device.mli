@@ -54,6 +54,19 @@ val configure : t -> Opendesc.Context.assignment -> (unit, string) result
 
 val active_path : t -> Opendesc.Path.t
 
+val upgrade :
+  t -> config:Opendesc.Context.assignment -> Nic_models.Model.t -> (unit, string) result
+(** Hot-swap the device's firmware contract in place: install a new
+    behavioural model and program [config] (which must select one of its
+    completion paths). Rings, DMA counters and the feature environment
+    (RSS key, clock, flow marks) are preserved, so steering and keyed
+    semantics are continuous across the swap. Refused — with the device
+    untouched — when completions are still in flight (they were written
+    under the old layout), or when the new contract's completion or TX
+    descriptor sizes exceed the provisioned ring slots. Callers drain to
+    a quiescent point first; {!Driver.Upgrade} is the orchestrated
+    path. *)
+
 val model : t -> Nic_models.Model.t
 
 val env : t -> Softnic.Feature.env

@@ -174,8 +174,8 @@ type t = {
   dev : Device.t;
   plan : plan;
   rng : Packet.Rng.t;
-  checker : Validate.checker;
-  target_fields : Opendesc.Path.lfield array;
+  mutable checker : Validate.checker;
+  mutable target_fields : Opendesc.Path.lfield array;
   quarantine : Ring.t;
   q_scratch : bytes;  (** reusable quarantine-harvest buffer *)
   c : counters;
@@ -212,6 +212,16 @@ let wrap ?(qid = 0) ?(quarantine_depth = 1024) plan dev =
 let device t = t.dev
 let plan t = t.plan
 let counters t = t.c
+
+(* After a {!Device.upgrade} the wrap-time contract checker and its
+   targeted-corruption candidates describe the retired layout; rebuild
+   both from the device's new active path. Counters and the RNG stream
+   carry over — the fault schedule stays a pure function of
+   (seed, qid, injection order) across the swap. *)
+let rebind t =
+  let checker = Validate.checker_of_device t.dev in
+  t.checker <- checker;
+  t.target_fields <- Array.of_list (Validate.checker_fields checker)
 
 let layout_size t =
   (Device.active_path t.dev).Opendesc.Path.p_layout.Opendesc.Path.size_bytes

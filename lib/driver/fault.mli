@@ -118,6 +118,14 @@ val wrap : ?qid:int -> ?quarantine_depth:int -> plan -> Device.t -> t
 
 val device : t -> Device.t
 
+val rebind : t -> unit
+(** Re-derive the contract checker and the targeted-corruption field set
+    from the device's {e current} active path. Must be called after a
+    {!Device.upgrade}: the wrap-time checker validates against the
+    retired contract. Counters and the RNG stream are preserved, so the
+    fault schedule remains a pure function of (seed, qid, injection
+    order) across the swap. *)
+
 val plan : t -> plan
 
 val counters : t -> counters

@@ -217,6 +217,54 @@ type result = {
   faults : Fault.counters array option;
 }
 
+(* Live hot-swap support (Driver.Upgrade): the producer requests
+   quiescence, every worker drains its handoff ring and its devices dry,
+   then the verdict — computed concurrently on the producer domain
+   (classification, recompile, certification) — is published through one
+   atomic cell and each worker applies it at its own quiescent point
+   before acknowledging the new epoch. No worker ever holds a completion
+   serialised under one contract while reading it with the other's
+   accessors. *)
+type swap_cmd =
+  | Swap_apply of {
+      sc_config : Opendesc.Context.assignment;
+      sc_model : unit -> Nic_models.Model.t;
+          (** fresh model per queue (models are stateful) *)
+      sc_stack : int -> Stack.burst_t;  (** epoch-1 consumer per queue *)
+    }
+  | Swap_refuse  (** keep serving the old contract *)
+  | Swap_quarantine  (** breaking: stop the datapath, withhold the rest *)
+
+type swap_action = Sw_applied | Sw_refused | Sw_quarantined
+
+type swap_outcome = {
+  sw_action : swap_action;
+  sw_at : int;  (** packets offered before the swap point *)
+  sw_inflight : int;  (** completions pending at the quiesce point *)
+  sw_pre_pkts : int;  (** packets delivered under epoch 0 *)
+  sw_post_pkts : int;  (** packets delivered under epoch 1 *)
+  sw_withheld : int;  (** packets never offered to the device *)
+  sw_torn : int;  (** non-quiescent epoch flips observed — must be 0 *)
+  sw_upgrade_errors : int;  (** Device.upgrade refusals — must be 0 *)
+  sw_latency_s : float;  (** quiesce request until every worker acked *)
+  sw_post_pairs : (bytes * bytes) list array option;
+      (** per queue: (packet, completion) pairs delivered under epoch 1,
+          delivery order — the rev-B reference-decode evidence *)
+}
+
+type swap_ctl = {
+  ctl_quiesce : bool Atomic.t;
+  ctl_cmd : swap_cmd option Atomic.t;
+  ctl_quiesced : int Atomic.t;
+  ctl_acks : int Atomic.t;
+  ctl_inflight : int Atomic.t;
+  ctl_pre_pkts : int Atomic.t;
+  ctl_torn : int Atomic.t;
+  ctl_upgrade_errors : int Atomic.t;
+  ctl_post_pairs : (bytes * bytes) list array option;
+      (** indexed by queue id; only the owning worker writes *)
+}
+
 (* What one worker domain reports back through Domain.join. *)
 type report = {
   rp_pkts : int;
@@ -269,7 +317,7 @@ let robust_busy ~chunk_s ~chunk_n ~nchunks ~extra_s =
   end
 
 let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~account
-    ~pkts_hint ~per_queue ~delivered ~faults () =
+    ~pkts_hint ~per_queue ~delivered ~faults ~swap () =
   let env = Softnic.Feature.make_env () in
   let ledger = Cost.create () in
   let sink_acct = if account then Cost.ledger ledger else Cost.null in
@@ -317,6 +365,8 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~account
     | None -> Device.rx_consume_batch devices.(i) b
     | Some fqs -> Fault.harvest fqs.(i) b
   in
+  let epoch = ref 0 in
+  let swapped = ref false in
   (* One harvest sweep over the owned queues; returns packets taken. *)
   let sweep () =
     let total = ref 0 in
@@ -339,6 +389,19 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~account
                   Bytes.sub b.Device.bs_pkts.(j) 0 b.Device.bs_lens.(j) :: arr.(q)
               done
           | None -> ());
+          (match swap with
+          | Some ctl when !epoch = 1 -> (
+              match ctl.ctl_post_pairs with
+              | Some arr ->
+                  for j = 0 to n - 1 do
+                    arr.(q) <-
+                      ( Bytes.sub b.Device.bs_pkts.(j) 0 b.Device.bs_lens.(j),
+                        Bytes.sub b.Device.bs_cmpts.(j) 0 b.Device.bs_cmpt_lens.(j)
+                      )
+                      :: arr.(q)
+                  done
+              | None -> ())
+          | _ -> ());
           consumed := !consumed + n;
           total := !total + n
         end)
@@ -387,6 +450,90 @@ let worker ~w ~queue_ids ~devices ~local ~ring ~stop ~batch ~stack ~account
         slot := if !pops < threshold then Pktring.peek ring else -1
       done;
       harvest_all ();
+      record_chunk (Unix.gettimeofday () -. t0) !pops
+    end
+    else if
+      match swap with
+      | Some ctl -> (not !swapped) && Atomic.get ctl.ctl_quiesce
+      | None -> false
+    then begin
+      let ctl = Option.get swap in
+      let t0 = Unix.gettimeofday () in
+      (* Reach the quiescent point. The quiesce flag was raised after the
+         producer's final pre-swap flush, so the empty peek above may
+         predate that flush: drain the handoff ring dry first, emit any
+         deferred reordered completion (it has no successor on this side
+         of the swap), then sweep the owned devices empty. *)
+      let pops = ref 0 in
+      let rec drain_ring () =
+        let s = Pktring.peek ring in
+        if s >= 0 then begin
+          let q = Pktring.qid ring s in
+          inject local.(q) (Pktring.buf ring s) (Pktring.len ring s);
+          Pktring.advance ring;
+          incr pops;
+          drain_ring ()
+        end
+      in
+      drain_ring ();
+      (match faults with
+      | Some fqs -> Array.iter Fault.flush fqs
+      | None -> ());
+      let inflight =
+        match faults with
+        | Some fqs ->
+            Array.fold_left (fun a fq -> a + Fault.rx_available fq) 0 fqs
+        | None ->
+            Array.fold_left (fun a d -> a + Device.rx_available d) 0 devices
+      in
+      ignore (Atomic.fetch_and_add ctl.ctl_inflight inflight);
+      harvest_all ();
+      ignore (Atomic.fetch_and_add ctl.ctl_pre_pkts !consumed);
+      ignore (Atomic.fetch_and_add ctl.ctl_quiesced 1);
+      (* Wait for the verdict — classification, recompile and
+         certification run concurrently on the producer domain. *)
+      let idle = ref 0 and park = ref park_min_s in
+      let rec await () =
+        match Atomic.get ctl.ctl_cmd with
+        | Some c -> c
+        | None ->
+            if !idle < spin_limit then Domain.cpu_relax ()
+            else begin
+              Unix.sleepf !park;
+              park := Float.min park_max_s (!park *. 2.0)
+            end;
+            incr idle;
+            await ()
+      in
+      (match await () with
+      | Swap_apply { sc_config; sc_model; sc_stack } ->
+          (* Torn-plan oracle: the epoch flip is only legal at a dry
+             point — a completion serialised under the old contract must
+             never be read with the new accessors. *)
+          if
+            Pktring.peek ring >= 0
+            || Array.exists (fun d -> Device.rx_available d > 0) devices
+          then begin
+            ignore (Atomic.fetch_and_add ctl.ctl_torn 1);
+            drain_ring ();
+            harvest_all ()
+          end;
+          Array.iter
+            (fun d ->
+              match Device.upgrade d ~config:sc_config (sc_model ()) with
+              | Ok () -> ()
+              | Error _ ->
+                  ignore (Atomic.fetch_and_add ctl.ctl_upgrade_errors 1))
+            devices;
+          (match faults with
+          | Some fqs -> Array.iter Fault.rebind fqs
+          | None -> ());
+          Array.iteri (fun i q -> consumers.(i) <- sc_stack q) queue_ids;
+          epoch := 1
+      | Swap_refuse -> ()
+      | Swap_quarantine -> running := false);
+      swapped := true;
+      ignore (Atomic.fetch_and_add ctl.ctl_acks 1);
       record_chunk (Unix.gettimeofday () -. t0) !pops
     end
     else if Atomic.get stop && Pktring.peek ring < 0 then begin
@@ -512,7 +659,7 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
         Domain.spawn
           (worker ~w ~queue_ids ~devices:wdevices ~local ~ring:rings.(w) ~stop
              ~batch ~stack ~account ~pkts_hint:pkts ~per_queue ~delivered
-             ~faults:wfaults))
+             ~faults:wfaults ~swap:None))
   in
   (* The steering/injection domain. Chunks of pushes are timed the same
      way worker chunks are (see [robust_busy]); blocking on a full ring
@@ -605,3 +752,205 @@ let run ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024) ?(collect = false)
     delivered = Option.map (Array.map List.rev) delivered;
     faults = Option.map (Array.map Fault.counters) fqs;
   }
+
+(* The live-upgrade engine: {!run}'s machinery with one epoch boundary.
+   The producer offers [at] packets under the old contract, raises the
+   quiesce flag, computes the verdict (the [swap] callback — typically
+   classification + recompile + certification) while the workers drain
+   themselves dry, publishes it once every worker stands at a quiescent
+   point, and resumes the stream only after every worker has
+   acknowledged the new epoch. *)
+let hot_swap ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024)
+    ?(collect = false) ?(account = true) ?(collect_post = false) ?plan ~mq
+    ~stack ~pkts ~at ~swap ~workload () =
+  if domains < 1 then invalid_arg "Parallel.hot_swap: domains must be >= 1";
+  if batch < 1 then invalid_arg "Parallel.hot_swap: batch must be >= 1";
+  let nq = Mq.queues mq in
+  let workers = min domains nq in
+  let owner q = q mod workers in
+  let at = max 0 (min at pkts) in
+  let devices = Array.init nq (Mq.queue mq) in
+  Array.iter Device.reset_counters devices;
+  let fqs =
+    Option.map
+      (fun plan -> Array.init nq (fun q -> Fault.wrap ~qid:q plan devices.(q)))
+      plan
+  in
+  let per_queue = Array.make nq 0 in
+  let delivered = if collect then Some (Array.make nq []) else None in
+  let ctl =
+    {
+      ctl_quiesce = Atomic.make false;
+      ctl_cmd = Atomic.make None;
+      ctl_quiesced = Atomic.make 0;
+      ctl_acks = Atomic.make 0;
+      ctl_inflight = Atomic.make 0;
+      ctl_pre_pkts = Atomic.make 0;
+      ctl_torn = Atomic.make 0;
+      ctl_upgrade_errors = Atomic.make 0;
+      ctl_post_pairs = (if collect_post then Some (Array.make nq []) else None);
+    }
+  in
+  let slot_size =
+    Array.fold_left (fun a d -> max a (Device.buf_size d)) 64 devices
+  in
+  let rings =
+    Array.init workers (fun _ ->
+        Pktring.create ~capacity:ring_capacity ~slot_size)
+  in
+  let stop = Atomic.make false in
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    Array.init workers (fun w ->
+        let queue_ids =
+          Array.of_list
+            (List.filter (fun q -> owner q = w) (List.init nq Fun.id))
+        in
+        let wdevices = Array.map (fun q -> devices.(q)) queue_ids in
+        let local = Array.make nq (-1) in
+        Array.iteri (fun i q -> local.(q) <- i) queue_ids;
+        let wfaults =
+          Option.map (fun fqs -> Array.map (fun q -> fqs.(q)) queue_ids) fqs
+        in
+        Domain.spawn
+          (worker ~w ~queue_ids ~devices:wdevices ~local ~ring:rings.(w) ~stop
+             ~batch ~stack ~account ~pkts_hint:pkts ~per_queue ~delivered
+             ~faults:wfaults ~swap:(Some ctl)))
+  in
+  let p_cap = pkts + 4 in
+  let p_chunk_s = Array.make p_cap 0.0 in
+  let p_chunk_n = Array.make p_cap 0 in
+  let p_nchunks = ref 0 in
+  let p_record s n =
+    if n > 0 && !p_nchunks < p_cap then begin
+      p_chunk_s.(!p_nchunks) <- s;
+      p_chunk_n.(!p_nchunks) <- n;
+      incr p_nchunks
+    end
+  in
+  let pushed_in_chunk = ref 0 in
+  let chunk_t0 = ref (Unix.gettimeofday ()) in
+  let end_chunk () =
+    p_record (Unix.gettimeofday () -. !chunk_t0) !pushed_in_chunk;
+    pushed_in_chunk := 0;
+    chunk_t0 := Unix.gettimeofday ()
+  in
+  let p_mw0 = Gc.minor_words () in
+  let push_one buf len q =
+    let ring = rings.(owner q) in
+    if not (Pktring.try_push ring buf ~len ~qid:q) then begin
+      end_chunk ();
+      let idle = ref 0 in
+      let park = ref park_min_s in
+      while not (Pktring.try_push ring buf ~len ~qid:q) do
+        if !idle < spin_limit then Domain.cpu_relax ()
+        else begin
+          Unix.sleepf !park;
+          park := Float.min park_max_s (!park *. 2.0)
+        end;
+        incr idle
+      done;
+      chunk_t0 := Unix.gettimeofday ()
+    end;
+    incr pushed_in_chunk;
+    if !pushed_in_chunk >= 256 then end_chunk ()
+  in
+  let cache = Mq.make_steer_cache () in
+  let push_range n =
+    for _ = 1 to n do
+      let pkt = Packet.Workload.next workload in
+      push_one pkt.Packet.Pkt.buf pkt.Packet.Pkt.len
+        (Mq.steer_cached mq cache pkt)
+    done;
+    Array.iter Pktring.flush rings;
+    end_chunk ()
+  in
+  let await_counter cell target =
+    let idle = ref 0 and park = ref park_min_s in
+    while Atomic.get cell < target do
+      if !idle < spin_limit then Domain.cpu_relax ()
+      else begin
+        Unix.sleepf !park;
+        park := Float.min park_max_s (!park *. 2.0)
+      end;
+      incr idle
+    done
+  in
+  (* Epoch 0: the pre-swap stream. *)
+  push_range at;
+  let t_swap = Unix.gettimeofday () in
+  Atomic.set ctl.ctl_quiesce true;
+  (* The verdict computes here — on the producer domain, concurrently
+     with the workers draining to their quiescent points. *)
+  let cmd = swap () in
+  await_counter ctl.ctl_quiesced workers;
+  Atomic.set ctl.ctl_cmd (Some cmd);
+  await_counter ctl.ctl_acks workers;
+  let latency_s = Unix.gettimeofday () -. t_swap in
+  (* Epoch 1 (or the rest of the refused stream). *)
+  let withheld =
+    match cmd with
+    | Swap_quarantine -> pkts - at
+    | Swap_apply _ | Swap_refuse ->
+        push_range (pkts - at);
+        0
+  in
+  let p_minor_words = Gc.minor_words () -. p_mw0 in
+  Atomic.set stop true;
+  let reports = Array.map Domain.join doms in
+  let wall_s = Unix.gettimeofday () -. t0 in
+  let producer_busy_s =
+    robust_busy ~chunk_s:p_chunk_s ~chunk_n:p_chunk_n ~nchunks:!p_nchunks
+      ~extra_s:0.0
+  in
+  let busy_s = Array.map (fun r -> r.rp_busy_s) reports in
+  let eff_wall_s =
+    Array.fold_left (fun a b -> Float.max a b) producer_busy_s busy_s
+  in
+  let total_pkts = Array.fold_left (fun a r -> a + r.rp_pkts) 0 reports in
+  let minor_words =
+    Array.fold_left (fun a r -> a +. r.rp_minor_words) p_minor_words reports
+  in
+  let stranded = Array.fold_left (fun a r -> a + Pktring.length r) 0 rings in
+  let domain_stats = Array.map (fun r -> r.rp_stats) reports in
+  let result =
+    {
+      pkts = total_pkts;
+      per_queue;
+      stats = Stats.merge ~name:"hot_swap" (Array.to_list domain_stats);
+      domain_stats;
+      domain_cycles = Array.map (fun r -> r.rp_cycles) reports;
+      wall_s;
+      busy_s;
+      producer_busy_s;
+      eff_wall_s;
+      minor_words_per_pkt =
+        (if total_pkts = 0 then 0.0
+         else minor_words /. float_of_int total_pkts);
+      stranded;
+      drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices;
+      sink = Array.fold_left (fun a r -> Int64.add a r.rp_sink) 0L reports;
+      delivered = Option.map (Array.map List.rev) delivered;
+      faults = Option.map (Array.map Fault.counters) fqs;
+    }
+  in
+  let pre = Atomic.get ctl.ctl_pre_pkts in
+  let outcome =
+    {
+      sw_action =
+        (match cmd with
+        | Swap_apply _ -> Sw_applied
+        | Swap_refuse -> Sw_refused
+        | Swap_quarantine -> Sw_quarantined);
+      sw_at = at;
+      sw_inflight = Atomic.get ctl.ctl_inflight;
+      sw_pre_pkts = pre;
+      sw_post_pkts = total_pkts - pre;
+      sw_withheld = withheld;
+      sw_torn = Atomic.get ctl.ctl_torn;
+      sw_upgrade_errors = Atomic.get ctl.ctl_upgrade_errors;
+      sw_latency_s = latency_s;
+      sw_post_pairs = Option.map (Array.map List.rev) ctl.ctl_post_pairs;
+    }
+  in
+  (result, outcome)

@@ -188,3 +188,88 @@ val run :
     plan. Device counters are reset on entry.
 
     @raise Invalid_argument on [domains < 1] or [batch < 1]. *)
+
+(** {1 Live contract hot-swap}
+
+    The epoch-based swap protocol behind {!Upgrade}: a running datapath
+    trades its devices' firmware contract for a new one mid-stream, with
+    every worker domain passing a quiescent point (handoff ring dry,
+    deferred reorders emitted, device rings harvested empty) before the
+    old plan is retired — no domain ever reads a completion serialised
+    under one contract with the other contract's accessors. *)
+
+(** The verdict the swap callback returns once classification (and, for
+    the Recompile class, certification) has run. *)
+type swap_cmd =
+  | Swap_apply of {
+      sc_config : Opendesc.Context.assignment;
+          (** context programming for the new contract *)
+      sc_model : unit -> Nic_models.Model.t;
+          (** a fresh model per queue (models are stateful) *)
+      sc_stack : int -> Stack.burst_t;
+          (** the epoch-1 consumer for queue [q] (new accessor table) *)
+    }
+  | Swap_refuse  (** keep serving the old contract (stale/missing cert) *)
+  | Swap_quarantine
+      (** breaking: drain, stop the datapath, withhold the remainder *)
+
+type swap_action = Sw_applied | Sw_refused | Sw_quarantined
+
+type swap_outcome = {
+  sw_action : swap_action;
+  sw_at : int;  (** packets offered before the swap point *)
+  sw_inflight : int;
+      (** completions pending across all queues at the quiesce point
+          (measured after each worker drained its handoff ring, before
+          its final harvest) *)
+  sw_pre_pkts : int;  (** packets delivered under epoch 0 *)
+  sw_post_pkts : int;  (** packets delivered under epoch 1 *)
+  sw_withheld : int;
+      (** packets never offered to the device ([Swap_quarantine] only:
+          the producer stops at the swap point) *)
+  sw_torn : int;
+      (** workers that observed a non-quiescent state at the epoch flip
+          (ring or device not dry) — the torn-plan oracle, must be 0 *)
+  sw_upgrade_errors : int;  (** {!Device.upgrade} refusals — must be 0 *)
+  sw_latency_s : float;
+      (** quiesce request until every worker acknowledged the new epoch
+          (includes the verdict computation — recompile, certify) *)
+  sw_post_pairs : (bytes * bytes) list array option;
+      (** with [~collect_post:true]: per queue, the (packet, completion)
+          pairs delivered under epoch 1 in delivery order — the evidence
+          the rev-B reference reader re-decodes *)
+}
+
+val hot_swap :
+  ?domains:int ->
+  ?batch:int ->
+  ?ring_capacity:int ->
+  ?collect:bool ->
+  ?account:bool ->
+  ?collect_post:bool ->
+  ?plan:Fault.plan ->
+  mq:Mq.t ->
+  stack:(int -> Stack.burst_t) ->
+  pkts:int ->
+  at:int ->
+  swap:(unit -> swap_cmd) ->
+  workload:Packet.Workload.t ->
+  unit ->
+  result * swap_outcome
+(** Like {!run}, with one epoch boundary: after [min at pkts] packets
+    the producer raises the quiesce flag and evaluates [swap ()] (on its
+    own domain, concurrently with the workers draining dry — this is
+    where a background recompile + certification runs). Once every
+    worker has reached its quiescent point the verdict is published
+    through one atomic cell; each worker applies it — [Swap_apply]
+    upgrades its devices in place ({!Device.upgrade}), rebinds its fault
+    wrappers ({!Fault.rebind}) and installs the new consumers;
+    [Swap_refuse] continues unchanged; [Swap_quarantine] retires the
+    worker — and acknowledges the new epoch. Only after every
+    acknowledgement does the producer resume the stream (or, under
+    [Swap_quarantine], withhold it). Counters reconcile exactly across
+    the transition: [sw_pre_pkts + sw_post_pkts = pkts - drops -
+    quarantined - withheld] for a fault-free plan, and with faults the
+    per-queue {!Fault.counters} invariants hold as in {!run}.
+
+    @raise Invalid_argument on [domains < 1] or [batch < 1]. *)

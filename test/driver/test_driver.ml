@@ -1284,6 +1284,280 @@ let prop_chaos_reconciles_and_replays =
       && String.equal (summary r2) (summary r2'))
 
 (* ------------------------------------------------------------------ *)
+(* Upgrade: live contract hot-swap *)
+
+let firmware_fixture name =
+  let path = Filename.concat "../../examples/firmware" name in
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let load_rev name =
+  Opendesc.Nic_spec.load_exn
+    ~name:(Filename.remove_extension name)
+    ~kind:Opendesc.Nic_spec.Fixed_function (firmware_fixture name)
+
+let rev_a () = load_rev "e1000_rev_a.p4"
+let rev_b () = load_rev "e1000_rev_b.p4"
+let rev_broken () = load_rev "e1000_rev_broken.p4"
+let upgrade_intent = Opendesc.Intent.make [ ("rss", 32); ("pkt_len", 16) ]
+
+(* The zero-packet-loss acceptance harness: e1000 A -> B under seeded
+   chaos at 1, 2 and 4 domains. Every accepted packet is either
+   delivered or quarantined, nothing is lost, no plan is torn, and the
+   whole outcome is deterministic from the seed (same accounting at
+   every domain count: faults are a per-queue function of the seed). *)
+let test_upgrade_zero_loss_all_domain_counts () =
+  let old_spec = rev_a () and new_spec = rev_b () in
+  let seed = 23L in
+  let plan = Fault.default_plan seed in
+  let runs =
+    List.map
+      (fun domains ->
+        match
+          Upgrade.run ~queues:4 ~domains ~pkts:4096 ~seed ~plan
+            ~collect_post:true ~intent:upgrade_intent ~old_spec ~new_spec ()
+        with
+        | Error e -> Alcotest.fail e
+        | Ok o ->
+            check ab "applied" true (o.Upgrade.o_action = Upgrade.Applied);
+            check ai "epoch" 1 o.Upgrade.o_epoch;
+            check ai "lost" 0 o.Upgrade.o_lost;
+            check ab "reconciled" true o.Upgrade.o_reconciled;
+            check ai "torn" 0 o.Upgrade.o_torn;
+            check ai "upgrade errors" 0 o.Upgrade.o_upgrade_errors;
+            check ai "accounted"
+              (o.Upgrade.o_accepted + o.Upgrade.o_duplicates)
+              (o.Upgrade.o_delivered + o.Upgrade.o_quarantined);
+            check ai "epochs partition the stream" o.Upgrade.o_delivered
+              (o.Upgrade.o_pre_delivered + o.Upgrade.o_post_delivered);
+            check ab "post-swap evidence" true
+              (o.Upgrade.o_post_delivered > 0);
+            o)
+      [ 1; 2; 4 ]
+  in
+  (* deterministic accounting across domain counts and re-runs *)
+  match runs with
+  | o1 :: rest ->
+      List.iter
+        (fun o ->
+          check ai "delivered agrees" o1.Upgrade.o_delivered
+            o.Upgrade.o_delivered;
+          check ai "quarantined agrees" o1.Upgrade.o_quarantined
+            o.Upgrade.o_quarantined;
+          check ai "duplicates agree" o1.Upgrade.o_duplicates
+            o.Upgrade.o_duplicates)
+        rest
+  | [] -> assert false
+
+(* The post-swap stream must decode byte-identically under revision B's
+   reference reader: every (packet, completion) pair delivered after
+   the epoch flip passes a checker built fresh from the upgraded
+   device, and the retired rev-A plan demonstrably misreads the same
+   evidence (the oracle has teeth — the layouts really moved). *)
+let test_upgrade_post_swap_decodes_as_rev_b () =
+  let old_spec = rev_a () and new_spec = rev_b () in
+  let intent = upgrade_intent in
+  let compiled_old = Opendesc.Cache.run_exn ~intent old_spec in
+  let branded = { new_spec with Opendesc.Nic_spec.nic_name = old_spec.nic_name } in
+  let compiled_new = Opendesc.Cache.run_exn ~intent branded in
+  let mq =
+    Mq.create_exn ~queue_depth:1024
+      ~configs:(Array.make 4 compiled_old.Opendesc.Compile.config)
+      (fun () -> Nic_models.Model.make old_spec)
+  in
+  let old_path = Opendesc.Compile.path compiled_old in
+  let swap () =
+    Parallel.Swap_apply
+      {
+        sc_config = compiled_new.Opendesc.Compile.config;
+        sc_model = (fun () -> Nic_models.Model.make branded);
+        sc_stack = (fun _ -> Hoststacks.opendesc_batched ~compiled:compiled_new);
+      }
+  in
+  let _res, sw =
+    Parallel.hot_swap ~domains:4 ~collect_post:true
+      ~plan:(Fault.default_plan 5L) ~mq
+      ~stack:(fun _ -> Hoststacks.opendesc_batched ~compiled:compiled_old)
+      ~pkts:4096 ~at:1777 ~swap
+      ~workload:(Packet.Workload.make ~seed:5L Packet.Workload.Imix)
+      ()
+  in
+  check ab "applied" true (sw.Parallel.sw_action = Parallel.Sw_applied);
+  check ai "torn" 0 sw.Parallel.sw_torn;
+  check ai "upgrade errors" 0 sw.Parallel.sw_upgrade_errors;
+  let pairs =
+    match sw.Parallel.sw_post_pairs with Some p -> p | None -> assert false
+  in
+  let total = ref 0 in
+  let rev_a_misreads = ref 0 in
+  Array.iteri
+    (fun q lst ->
+      let dev = Mq.queue mq q in
+      (* the upgraded device's active path IS rev B's *)
+      let ck_b = Validate.checker_of_device dev in
+      let ck_a =
+        Validate.checker_of_path ~env:(Device.env dev)
+          ~softnic:(Softnic.Registry.builtin ())
+          old_path
+      in
+      List.iter
+        (fun (pktb, cmpt) ->
+          incr total;
+          let pkt = Packet.Pkt.create pktb in
+          (match Validate.check_desc ck_b ~pkt ~cmpt with
+          | None -> ()
+          | Some sem ->
+              Alcotest.failf
+                "post-swap completion fails the rev-B reference on %S" sem);
+          if Validate.check_desc ck_a ~pkt ~cmpt <> None then
+            incr rev_a_misreads)
+        lst)
+    pairs;
+  check ab "post-swap evidence collected" true (!total > 0);
+  check ab "retired plan misreads the new stream" true (!rev_a_misreads > 0)
+
+(* Torn-swap property: under randomized swap timing, domain count and
+   seed, across the whole catalog's self-upgrade (Transparent) path,
+   the epoch flip always lands on a quiescent datapath and the
+   accounting reconciles exactly. *)
+let prop_upgrade_random_timing_never_tears =
+  QCheck.Test.make ~count:20
+    ~name:"hot swap: randomized timing never tears a plan (catalog)"
+    QCheck.(
+      quad (int_bound 1200) (int_range 1 3) (int_bound 1000) small_nat)
+    (fun (at, domains, seed, idx) ->
+      let intent = Nic_models.Catalog.fig1_intent in
+      let models = Nic_models.Catalog.all ~intent () in
+      let model = List.nth models (idx mod List.length models) in
+      let spec = model.Nic_models.Model.spec in
+      let seed64 = Int64.of_int (seed + 1) in
+      match
+        Upgrade.run ~queues:2 ~domains ~pkts:1200 ~at ~seed:seed64
+          ~plan:(Fault.default_plan seed64) ~intent ~old_spec:spec
+          ~new_spec:spec ()
+      with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok o ->
+          o.Upgrade.o_class = Opendesc_analysis.Evolution.Transparent
+          && o.Upgrade.o_action = Upgrade.Applied
+          && o.Upgrade.o_torn = 0
+          && o.Upgrade.o_upgrade_errors = 0
+          && o.Upgrade.o_lost = 0 && o.Upgrade.o_reconciled
+          && o.Upgrade.o_delivered
+             = o.Upgrade.o_pre_delivered + o.Upgrade.o_post_delivered)
+
+(* The certificate gate: a Recompile-class swap without a certificate
+   fresh against the NEW contract hash is refused, and the datapath
+   keeps serving revision A (epoch never advances, deliveries continue
+   past the refused swap point). *)
+let test_upgrade_cert_gate_refuses () =
+  let old_spec = rev_a () and new_spec = rev_b () in
+  let seed = 9L in
+  let run drill =
+    match
+      Upgrade.run ~queues:2 ~pkts:2048 ~seed ~plan:(Fault.default_plan seed)
+        ~collect_post:true ~drill ~intent:upgrade_intent ~old_spec ~new_spec
+        ()
+    with
+    | Error e -> Alcotest.fail e
+    | Ok o ->
+        (match o.Upgrade.o_action with
+        | Upgrade.Refused _ -> ()
+        | a -> Alcotest.failf "expected refusal, got %s" (Upgrade.action_name a));
+        check ai "epoch stays 0" 0 o.Upgrade.o_epoch;
+        check ab "still serving rev A after the refusal" true
+          (o.Upgrade.o_post_delivered > 0);
+        (match o.Upgrade.o_post_pairs with
+        | Some arr ->
+            Array.iter
+              (fun l -> check ai "no epoch-1 deliveries" 0 (List.length l))
+              arr
+        | None -> Alcotest.fail "collect_post requested");
+        check ai "lost" 0 o.Upgrade.o_lost;
+        check ab "reconciled" true o.Upgrade.o_reconciled;
+        o
+  in
+  let stale = run Upgrade.Drill_stale in
+  (match stale.Upgrade.o_cert with
+  | Upgrade.Cv_stale { held; current } ->
+      check ab "held proved against a different contract" true (held <> current)
+  | v -> Alcotest.failf "expected stale verdict, got %s" (Upgrade.cert_verdict_name v));
+  let missing = run Upgrade.Drill_missing in
+  (match missing.Upgrade.o_cert with
+  | Upgrade.Cv_missing _ -> ()
+  | v -> Alcotest.failf "expected missing verdict, got %s" (Upgrade.cert_verdict_name v));
+  (* every injected codegen bug is caught by certification and refuses
+     the swap with the documented diagnostic codes *)
+  List.iter
+    (fun m ->
+      let o = run (Upgrade.Drill_inject m) in
+      match o.Upgrade.o_cert with
+      | Upgrade.Cv_failed codes ->
+          let expected = Opendesc_analysis.Certify.expected_codes m in
+          check ab
+            (Printf.sprintf "mutation %S raises one of its codes"
+               (Opendesc_analysis.Certify.mutation_name m))
+            true
+            (List.exists (fun c -> List.mem c expected) codes)
+      | v ->
+          Alcotest.failf "expected failed certification, got %s"
+            (Upgrade.cert_verdict_name v))
+    Opendesc_analysis.Certify.mutations
+
+(* A Breaking-class swap drains in-flight completions, withholds the
+   remainder of the stream, and reconciles the counters exactly. *)
+let test_upgrade_breaking_quarantines () =
+  let old_spec = rev_a () and new_spec = rev_broken () in
+  let seed = 31L in
+  List.iter
+    (fun domains ->
+      match
+        Upgrade.run ~queues:4 ~domains ~pkts:4096 ~at:1500 ~seed
+          ~plan:(Fault.default_plan seed) ~intent:upgrade_intent ~old_spec
+          ~new_spec ()
+      with
+      | Error e -> Alcotest.fail e
+      | Ok o ->
+          check ab "quarantined" true (o.Upgrade.o_action = Upgrade.Quarantined);
+          check ai "epoch stays 0" 0 o.Upgrade.o_epoch;
+          check ai "remainder withheld" (4096 - 1500) o.Upgrade.o_withheld;
+          check ai "nothing delivered post-swap" 0 o.Upgrade.o_post_delivered;
+          check ai "accounted"
+            (o.Upgrade.o_accepted + o.Upgrade.o_duplicates)
+            (o.Upgrade.o_delivered + o.Upgrade.o_quarantined);
+          check ai "lost" 0 o.Upgrade.o_lost;
+          check ab "reconciled" true o.Upgrade.o_reconciled)
+    [ 1; 2 ]
+
+(* The deployment filter: the same A -> B bump is globally Breaking
+   (ip_checksum vanishes from the legacy path) yet Recompile for an RSS
+   consumer on path 1 — and Breaking again for a deployment that
+   actually served ip_checksum. *)
+let test_upgrade_effective_class_scoping () =
+  let old_spec = rev_a () and new_spec = rev_b () in
+  (match
+     Upgrade.dry_run ~intent:upgrade_intent ~old_spec ~new_spec ()
+   with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check ab "globally breaking" true
+        (o.Upgrade.o_full_class = Opendesc_analysis.Evolution.Breaking);
+      check ab "effectively recompile" true
+        (o.Upgrade.o_class = Opendesc_analysis.Evolution.Recompile);
+      check ab "would apply" true (o.Upgrade.o_action = Upgrade.Applied);
+      check ab "dry" true o.Upgrade.o_dry);
+  let csum_intent = Opendesc.Intent.make [ ("ip_checksum", 16); ("pkt_len", 16) ] in
+  match Upgrade.dry_run ~intent:csum_intent ~old_spec ~new_spec () with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+      check ab "breaking for a checksum consumer" true
+        (o.Upgrade.o_class = Opendesc_analysis.Evolution.Breaking);
+      check ab "would quarantine" true
+        (o.Upgrade.o_action = Upgrade.Quarantined)
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1382,6 +1656,20 @@ let () =
             test_stats_merge_fault_counters;
         ]
         @ qsuite [ prop_zero_plan_is_identity; prop_chaos_reconciles_and_replays ] );
+      ( "upgrade",
+        [
+          Alcotest.test_case "zero loss at 1/2/4 domains" `Quick
+            test_upgrade_zero_loss_all_domain_counts;
+          Alcotest.test_case "post-swap decodes as rev B" `Quick
+            test_upgrade_post_swap_decodes_as_rev_b;
+          Alcotest.test_case "certificate gate refuses" `Quick
+            test_upgrade_cert_gate_refuses;
+          Alcotest.test_case "breaking quarantines" `Quick
+            test_upgrade_breaking_quarantines;
+          Alcotest.test_case "effective class scoping" `Quick
+            test_upgrade_effective_class_scoping;
+        ]
+        @ qsuite [ prop_upgrade_random_timing_never_tears ] );
       ("properties", qsuite [ prop_dma_accounting ]);
       ( "cost",
         [
