@@ -1176,9 +1176,9 @@ let live_upgrade () =
         in
         r.wall_s)
   in
-  Printf.printf "%7s %14s %12s %12s %10s %9s %9s %6s\n" "domains"
-    "swap_latency_s" "base_wall_s" "swap_wall_s" "dip_pct" "delivered"
-    "quarant" "lost";
+  Printf.printf "%7s %14s %10s %12s %12s %10s %9s %9s %6s\n" "domains"
+    "swap_latency_s" "pause_s" "base_wall_s" "swap_wall_s" "dip_pct"
+    "delivered" "quarant" "lost";
   let points =
     List.map
       (fun domains ->
@@ -1191,8 +1191,16 @@ let live_upgrade () =
               if o'.U.o_wall_s < !o.U.o_wall_s then o := o';
               o'.U.o_wall_s)
         in
-        let latency =
-          best (fun () -> (swap_run domains).U.o_latency_s)
+        (* latency and the producer quiesce pause come from the same
+           runs: both are best-of-reps over one set of swaps *)
+        let latency, pause =
+          let l = ref infinity and p = ref infinity in
+          for _ = 1 to reps do
+            let o' = swap_run domains in
+            l := min !l o'.U.o_latency_s;
+            p := min !p o'.U.o_pause_s
+          done;
+          (!l, !p)
         in
         (* the 1-domain point runs the sequential engine, which has no
            producer-domain baseline to compare against — dip is only
@@ -1206,18 +1214,19 @@ let live_upgrade () =
         let o = !o in
         (match dip with
         | Some (bw, d) ->
-            Printf.printf "%7d %14.6f %12.6f %12.6f %9.1f%% %9d %9d %6d\n"
-              domains latency bw swap_wall d o.U.o_delivered
+            Printf.printf
+              "%7d %14.6f %10.6f %12.6f %12.6f %9.1f%% %9d %9d %6d\n"
+              domains latency pause bw swap_wall d o.U.o_delivered
               o.U.o_quarantined o.U.o_lost
         | None ->
-            Printf.printf "%7d %14.6f %12s %12.6f %10s %9d %9d %6d\n" domains
-              latency "-" swap_wall "-" o.U.o_delivered o.U.o_quarantined
-              o.U.o_lost);
-        (domains, latency, dip, swap_wall, o))
+            Printf.printf "%7d %14.6f %10.6f %12s %12.6f %10s %9d %9d %6d\n"
+              domains latency pause "-" swap_wall "-" o.U.o_delivered
+              o.U.o_quarantined o.U.o_lost);
+        (domains, latency, pause, dip, swap_wall, o))
       [ 1; 2; 4 ]
   in
   List.iter
-    (fun (domains, latency, _, _, (o : U.outcome)) ->
+    (fun (domains, latency, pause, _, _, (o : U.outcome)) ->
       acceptance
         (Printf.sprintf "live_upgrade applied cleanly (%d domains)" domains)
         (o.U.o_action = U.Applied && o.U.o_epoch = 1);
@@ -1230,12 +1239,17 @@ let live_upgrade () =
       acceptance
         (Printf.sprintf "live_upgrade swap latency < 0.5s (%d domains)"
            domains)
-        (latency < 0.5))
+        (latency < 0.5);
+      (* ROADMAP item 4's bound: the producer quiesce pause stays under
+         100 ms at the full 4-domain configuration *)
+      if domains = 4 then
+        acceptance "live_upgrade producer pause < 100 ms (4 domains)"
+          (pause < 0.1))
     points;
   let point_frags =
     String.concat ",\n"
       (List.map
-         (fun (domains, latency, dip, sw, (o : U.outcome)) ->
+         (fun (domains, latency, pause, dip, sw, (o : U.outcome)) ->
            let bw_s, dip_s =
              match dip with
              | Some (bw, d) ->
@@ -1244,11 +1258,12 @@ let live_upgrade () =
            in
            Printf.sprintf
              "      { \"domains\": %d, \"swap_latency_s\": %.6f, \
+              \"quiesce_pause_s\": %.6f, \
               \"base_wall_s\": %s, \"swap_wall_s\": %.6f, \
               \"goodput_dip_pct\": %s, \"inflight_at_swap\": %d, \
               \"pre_delivered\": %d, \"post_delivered\": %d, \
               \"quarantined\": %d, \"lost\": %d, \"torn\": %d }"
-             domains latency bw_s sw dip_s o.U.o_inflight
+             domains latency pause bw_s sw dip_s o.U.o_inflight
              o.U.o_pre_delivered o.U.o_post_delivered o.U.o_quarantined
              o.U.o_lost o.U.o_torn)
          points)
@@ -1258,10 +1273,85 @@ let live_upgrade () =
        "{\n    \"nic\": %S,\n    \"to\": %S,\n    \"class\": \"recompile\",\n    \
         \"queues\": %d,\n    \"pkts\": %d,\n    \"seed\": 97,\n    \
         \"note\": \"swap latency = quiesce request to every worker on the \
-        new epoch (includes background recompile + certification); dip \
-        compares best-of-%d walls against a no-swap run of the same chaos \
-        stream.\",\n    \"points\": [\n%s\n    ]\n  }"
+        new epoch (includes background recompile + certification); quiesce \
+        pause = how long injection was halted, bounded < 100 ms at 4 \
+        domains; dip compares best-of-%d walls against a no-swap run of \
+        the same chaos stream.\",\n    \"points\": [\n%s\n    ]\n  }"
        old_spec.nic_name new_spec.nic_name queues pkts reps point_frags)
+
+(* ================================================================== *)
+(* cost_bound: the static worst-case bound vs the measured ledger. *)
+
+(* Cross-validation of the OD025 certifier: for every catalogue NIC x
+   intent, the statically proved worst case (Costbound.plan_bound at the
+   datapath's burst size) must contain the cycles/pkt the ledger actually
+   measures on the batched stack, and must not be vacuously loose. *)
+let cost_bound () =
+  Bench_util.section
+    "COST_BOUND. Static worst-case bound vs measured ledger, per NIC x intent";
+  let module Cb = Opendesc_analysis.Costbound in
+  let batch = 32 and pkts = 4096 in
+  let intents =
+    [
+      ("fig1", Nic_models.Catalog.fig1_intent);
+      ("rss+len", Opendesc.Intent.make [ ("rss", 32); ("pkt_len", 16) ]);
+    ]
+  in
+  let rows =
+    List.concat_map
+      (fun (iname, intent) ->
+        List.map
+          (fun (model : Nic_models.Model.t) ->
+            let compiled = Opendesc.Cache.run_exn ~alpha:0.05 ~intent model.spec in
+            let bound =
+              Cb.plan_bound ~burst:batch (Opendesc.Compile.to_plan compiled)
+            in
+            let device = Driver.Device.create_exn ~config:compiled.config model in
+            let stats =
+              (* No tx_echo: the bound models the decode path, and the TX
+                 repost would charge doorbells the plan never promises. *)
+              Driver.Stack.run_batched ~pkts ~batch ~device
+                ~workload:(Packet.Workload.make ~seed:53L Packet.Workload.Min_size)
+                (Driver.Hoststacks.opendesc_batched ~compiled)
+            in
+            let measured = stats.Driver.Stats.cycles_per_pkt in
+            (model.spec.nic_name, iname, bound, measured, bound /. measured))
+          (Nic_models.Catalog.all ~intent ()))
+      intents
+  in
+  Printf.printf "  %-18s %-8s %14s %14s %10s\n" "nic" "intent" "bound c/p"
+    "measured c/p" "tightness";
+  List.iter
+    (fun (nic, iname, bound, measured, t) ->
+      Printf.printf "  %-18s %-8s %14.2f %14.2f %9.3fx\n" nic iname bound
+        measured t)
+    rows;
+  let contained =
+    List.for_all (fun (_, _, b, m, _) -> m <= b *. 1.0000001) rows
+  in
+  let worst = List.fold_left (fun a (_, _, _, _, t) -> max a t) 0.0 rows in
+  Printf.printf
+    "\ncontainment (measured <= proved bound on every NIC x intent): %s\n"
+    (if contained then "yes" else "NO — unsound bound!");
+  Printf.printf "worst tightness (bound / measured): %.3fx (acceptance: <= 2.0x)\n"
+    worst;
+  acceptance "cost_bound containment on every NIC x intent" contained;
+  acceptance "cost_bound tightness <= 2.0x" (worst <= 2.0);
+  let point_frags =
+    String.concat ",\n"
+      (List.map
+         (fun (nic, iname, bound, measured, t) ->
+           Printf.sprintf
+             "      { \"nic\": %S, \"intent\": %S, \"bound_cycles_per_pkt\": \
+              %.2f, \"measured_cycles_per_pkt\": %.2f, \"tightness\": %.3f }"
+             nic iname bound measured t)
+         rows)
+  in
+  record_json "cost_bound"
+    (Printf.sprintf
+       "{\n    \"batch\": %d,\n    \"pkts\": %d,\n    \"contained\": %b,\n    \
+        \"worst_tightness\": %.3f,\n    \"points\": [\n%s\n    ]\n  }"
+       batch pkts contained worst point_frags)
 
 (* ================================================================== *)
 
@@ -1288,6 +1378,7 @@ let experiments =
     ("parallel_sweep", parallel_sweep);
     ("chaos_sweep", chaos_sweep);
     ("live_upgrade", live_upgrade);
+    ("cost_bound", cost_bound);
   ]
 
 (* The CI smoke subset: fast, no bechamel, covers compiler + batched
@@ -1301,6 +1392,7 @@ let quick_set =
     "parallel_sweep";
     "chaos_sweep";
     "live_upgrade";
+    "cost_bound";
   ]
 
 let () =

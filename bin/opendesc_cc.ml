@@ -340,13 +340,44 @@ let diff_cmd =
     match (load_nic ~intent nic, load_nic ~intent against) with
     | Error e, _ | _, Error e -> fail "%s" e
     | Ok old_spec, Ok new_spec ->
+        (* Per-revision worst-case decode bounds (Costbound): lets the
+           report flag a Transparent-but-slower bump. Omitted when a
+           revision does not compile against the intent — the entries
+           themselves already explain why. *)
+        let bound_of spec =
+          match Opendesc.Compile.run ~intent spec with
+          | Ok compiled ->
+              Some
+                (Opendesc_analysis.Costbound.plan_bound
+                   (Opendesc.Compile.to_plan compiled))
+          | Error _ -> None
+        in
+        let cost =
+          match (bound_of old_spec, bound_of new_spec) with
+          | Some o, Some n -> Some (o, n)
+          | _ -> None
+        in
         let report, cert_result =
           if certify then
-            Opendesc.Nic_diff.check_certified ~intent old_spec new_spec
-          else (Opendesc.Nic_diff.check old_spec new_spec, None)
+            Opendesc.Nic_diff.check_certified ?cost ~intent old_spec new_spec
+          else (Opendesc.Nic_diff.check ?cost old_spec new_spec, None)
+        in
+        let regression =
+          match cost with Some (o, n) -> n > o +. 1e-9 | None -> false
         in
         if json then print_endline (Ev.report_to_json report)
-        else Format.printf "%a" Ev.pp report;
+        else begin
+          Format.printf "%a" Ev.pp report;
+          if regression then
+            match cost with
+            | Some (o, n) ->
+                Format.printf
+                  "OD026: cost regression: worst-case decode cost rose from \
+                   %.1f to %.1f cycles/pkt (%.2fx)@."
+                  o n
+                  (n /. if o > 0.0 then o else 1.0)
+            | None -> ()
+        end;
         (match cert_result with
         | Some (Error (Opendesc.Cache.Cert_compile_error e)) ->
             prerr_endline
@@ -363,6 +394,10 @@ let diff_cmd =
         | Some (Ok _) | None -> ());
         if werror && Ev.breaking report then begin
           prerr_endline "opendesc_cc: breaking interface change (--werror)";
+          exit 1
+        end
+        else if werror && regression then begin
+          prerr_endline "opendesc_cc: decode cost regression, OD026 (--werror)";
           exit 1
         end
         else `Ok ()
@@ -1396,6 +1431,372 @@ let certify_cmd =
         (const run $ targets_arg $ semantics_arg $ intent_arg $ alpha_arg
        $ werror_arg $ json_arg $ sarif_arg $ emit_arg $ check_arg $ inject_arg))
 
+(* --- cost ---------------------------------------------------------- *)
+
+let cost_cmd =
+  let module Dg = Opendesc_analysis.Diagnostic in
+  let module Cb = Opendesc_analysis.Costbound in
+  let targets_arg =
+    Arg.(
+      value & pos_all string []
+      & info [] ~docv:"NIC|FILE"
+          ~doc:
+            "Built-in NIC model names or P4 description files. Default: the \
+             whole built-in catalogue.")
+  in
+  let werror_arg =
+    Arg.(
+      value & flag
+      & info [ "werror" ] ~doc:"Exit non-zero on warnings, not only on errors.")
+  in
+  let json_arg =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:"Machine-readable JSON report (schema opendesc-cost-1).")
+  in
+  let sarif_arg =
+    Arg.(
+      value & flag
+      & info [ "sarif" ] ~doc:"SARIF 2.1.0 report (for code-review tooling).")
+  in
+  let budget_arg =
+    Arg.(
+      value & opt (some float) None
+      & info [ "budget" ] ~docv:"CYCLES"
+          ~doc:
+            "Decode-cost budget in cycles/pkt; overrides any \
+             @budget(<cycles>) on the intent header (OD025 when the \
+             provable bound exceeds it).")
+  in
+  let table_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "cost-table" ] ~docv:"JSON"
+          ~doc:
+            "Cost-table file (schema opendesc-cost-table-1); known keys \
+             override the built-in mirror of the driver cost model.")
+  in
+  let inject_arg =
+    let kinds = List.map Cb.mutation_name Cb.mutations in
+    Arg.(
+      value & opt (some string) None
+      & info [ "inject" ] ~docv:"MUTATION"
+          ~doc:
+            (Printf.sprintf
+               "Inject a cost regression into the deployment before analysis \
+                and require the expected code to fire (one of %s)."
+               (String.concat ", " kinds)))
+  in
+  let run targets semantics intent_file alpha budget table_file werror json
+      sarif inject =
+    let registry = Opendesc.Semantic.default () in
+    let custom_intent = intent_file <> None || semantics <> None in
+    let intent =
+      if custom_intent then intent_of_args ~semantics ~intent_file registry
+      else Ok Nic_models.Catalog.fig1_intent
+    in
+    let table =
+      match table_file with
+      | None -> Ok Cb.default_table
+      | Some f -> (
+          match Cb.table_of_json (read_file f) with
+          | Ok t -> Ok t
+          | Error e -> Error (Printf.sprintf "%s: %s" f e))
+    in
+    match (intent, table) with
+    | Error e, _ | _, Error e -> fail "%s" e
+    | Ok intent, Ok table -> (
+        let models = Nic_models.Catalog.all ~intent () in
+        let targets =
+          match targets with
+          | [] ->
+              List.map (fun (m : Nic_models.Model.t) -> m.spec.nic_name) models
+          | ts -> ts
+        in
+        let mutation =
+          match inject with
+          | None -> Ok None
+          | Some k -> (
+              match Cb.mutation_of_string k with
+              | Some m -> Ok (Some m)
+              | None ->
+                  Error
+                    (Printf.sprintf "unknown mutation %S (one of %s)" k
+                       (String.concat ", "
+                          (List.map Cb.mutation_name Cb.mutations))))
+        in
+        match mutation with
+        | Error e -> fail "%s" e
+        | Ok mutation -> (
+            let spec_of name =
+              match Nic_models.Catalog.find name models with
+              | Some m -> Ok m.Nic_models.Model.spec
+              | None -> load_nic ~intent name
+            in
+            (* The budget the analysis gates against: the CLI bound wins,
+               else the intent's own @budget(<cycles>). *)
+            let declared_budget =
+              match budget with
+              | Some _ -> budget
+              | None -> intent.Opendesc.Intent.budget
+            in
+            let cost_one name =
+              match spec_of name with
+              | Error e -> Error e
+              | Ok spec -> (
+                  match Opendesc.Compile.run ~alpha ~registry ~intent spec with
+                  | Error e -> Ok (name, Error e)
+                  | Ok compiled ->
+                      let contract = Opendesc.Compile.contract compiled in
+                      let plan = Opendesc.Compile.to_plan compiled in
+                      let report =
+                        match mutation with
+                        | None ->
+                            Cb.analyze ~table ?budget:declared_budget contract
+                              plan
+                        | Some m ->
+                            let drill = Cb.inject ~table m plan in
+                            let budget =
+                              match drill.Cb.dr_budget with
+                              | Some _ as b -> b
+                              | None -> declared_budget
+                            in
+                            Cb.analyze ~table ?budget
+                              ?baseline:drill.Cb.dr_baseline contract
+                              drill.Cb.dr_plan
+                      in
+                      Ok (name, Ok report))
+            in
+            let rec collect acc = function
+              | [] -> Ok (List.rev acc)
+              | t :: rest -> (
+                  match cost_one t with
+                  | Error e -> Error e
+                  | Ok r -> collect (r :: acc) rest)
+            in
+            match collect [] targets with
+            | Error e -> fail "%s" e
+            | Ok results -> (
+                match mutation with
+                | Some m ->
+                    (* Every drilled deployment must raise one of the
+                       mutation's expected codes (code presence, not exit
+                       status: OD027 is informational by design). *)
+                    let expected = Cb.expected_codes m in
+                    let bad =
+                      List.filter_map
+                        (fun (name, r) ->
+                          match r with
+                          | Error e ->
+                              Some (Printf.sprintf "%s: compile error: %s" name e)
+                          | Ok (report : Cb.report) ->
+                              if
+                                List.exists
+                                  (fun (d : Dg.t) -> List.mem d.d_code expected)
+                                  report.r_diags
+                              then None
+                              else
+                                Some
+                                  (Printf.sprintf
+                                     "%s: injected %s did NOT raise any of \
+                                      [%s] (got %s)"
+                                     name (Cb.mutation_name m)
+                                     (String.concat "; " expected)
+                                     (match report.r_diags with
+                                     | [] -> "no findings"
+                                     | ds ->
+                                         String.concat ", "
+                                           (List.sort_uniq Stdlib.compare
+                                              (List.map
+                                                 (fun (d : Dg.t) -> d.d_code)
+                                                 ds)))))
+                        results
+                    in
+                    if bad = [] then begin
+                      List.iter
+                        (fun (name, r) ->
+                          let codes =
+                            match r with
+                            | Ok (report : Cb.report) ->
+                                List.sort_uniq Stdlib.compare
+                                  (List.map
+                                     (fun (d : Dg.t) -> d.d_code)
+                                     report.r_diags)
+                            | Error _ -> []
+                          in
+                          Printf.printf "%s: injected %s flagged (%s)\n" name
+                            (Cb.mutation_name m)
+                            (String.concat ", " codes))
+                        results;
+                      `Ok ()
+                    end
+                    else fail "%s" (String.concat "\n" bad)
+                | None ->
+                    let diags_of = function
+                      | Error _ -> []
+                      | Ok (r : Cb.report) -> r.r_diags
+                    in
+                    let all_diags =
+                      List.concat_map (fun (_, r) -> diags_of r) results
+                    in
+                    if sarif then
+                      print_string
+                        (Opendesc_analysis.Sarif.of_results
+                           ~tool_name:"opendesc_cc cost"
+                           (List.map
+                              (fun (name, r) -> (name, diags_of r))
+                              results))
+                    else if json then begin
+                      let opt_float key = function
+                        | None -> ""
+                        | Some v -> Printf.sprintf ", \"%s\": %.1f" key v
+                      in
+                      let path_json (p : Cb.path_cost) =
+                        Printf.sprintf
+                          "{\"path\": %d, \"size_bytes\": %d, \"lines\": %d, \
+                           \"serves\": %b, \"hw\": [%s], \"shimmed\": [%s], \
+                           \"bound\": %.1f}"
+                          p.pc_index p.pc_size_bytes p.pc_lines p.pc_serves
+                          (String.concat ", "
+                             (List.map
+                                (fun s -> Printf.sprintf "\"%s\"" (Dg.json_escape s))
+                                p.pc_hw))
+                          (String.concat ", "
+                             (List.map
+                                (fun s -> Printf.sprintf "\"%s\"" (Dg.json_escape s))
+                                p.pc_shimmed))
+                          p.pc_bound
+                      in
+                      let target_json (name, r) =
+                        match r with
+                        | Error e ->
+                            Printf.sprintf
+                              "    {\"name\": \"%s\", \"status\": \
+                               \"compile_error\", \"error\": \"%s\"}"
+                              (Dg.json_escape name) (Dg.json_escape e)
+                        | Ok (report : Cb.report) ->
+                            let c = report.r_cost in
+                            Printf.sprintf
+                              "    {\"name\": \"%s\", \"status\": \"%s\", \
+                               \"cost\": {\"path\": %d, \"size_bytes\": %d, \
+                               \"lines\": %d, \"distinct_lines\": %d, \
+                               \"hw_reads\": %d, \"shim_cycles\": %.1f, \
+                               \"bound\": %.1f%s%s}, \"paths\": [%s], \
+                               \"diagnostics\": [%s]}"
+                              (Dg.json_escape name)
+                              (if
+                                 Opendesc_analysis.Engine.failing ~werror:false
+                                   report.r_diags
+                               then "over_budget"
+                               else "bounded")
+                              c.co_path_index c.co_size_bytes c.co_lines
+                              c.co_distinct_lines c.co_hw_reads
+                              c.co_shim_cycles c.co_bound
+                              (opt_float "budget" c.co_budget)
+                              (opt_float "baseline" c.co_baseline)
+                              (String.concat ", "
+                                 (List.map path_json report.r_paths))
+                              (String.concat ", "
+                                 (List.map Dg.to_json report.r_diags))
+                      in
+                      let bounded =
+                        List.length
+                          (List.filter
+                             (fun (_, r) ->
+                               match r with
+                               | Ok (rep : Cb.report) ->
+                                   not
+                                     (Opendesc_analysis.Engine.failing
+                                        ~werror:false rep.r_diags)
+                               | Error _ -> false)
+                             results)
+                      in
+                      Printf.printf
+                        "{\n\
+                        \  \"schema\": \"opendesc-cost-1\",\n\
+                        \  \"targets\": [\n\
+                         %s\n\
+                        \  ],\n\
+                        \  \"summary\": {\"bounded\": %d, \"flagged\": %d}\n\
+                         }\n"
+                        (String.concat ",\n" (List.map target_json results))
+                        bounded
+                        (List.length results - bounded)
+                    end
+                    else
+                      List.iter
+                        (fun (name, r) ->
+                          match r with
+                          | Error e ->
+                              Printf.printf "%s: compile error: %s\n" name e
+                          | Ok (report : Cb.report) ->
+                              let c = report.Cb.r_cost in
+                              Printf.printf
+                                "%s: path #%d bound %.1f cycles/pkt (%dB, %d \
+                                 line(s), %d distinct, %d hw read(s), %.1f \
+                                 shim cycles)%s\n"
+                                name c.Cb.co_path_index c.Cb.co_bound
+                                c.Cb.co_size_bytes c.Cb.co_lines
+                                c.Cb.co_distinct_lines c.Cb.co_hw_reads
+                                c.Cb.co_shim_cycles
+                                (match c.Cb.co_budget with
+                                | Some b -> Printf.sprintf " budget %.1f" b
+                                | None -> "");
+                              List.iter
+                                (fun (p : Cb.path_cost) ->
+                                  Printf.printf
+                                    "  path #%d: %.1f cycles/pkt%s hw={%s} \
+                                     shims={%s}\n"
+                                    p.pc_index p.pc_bound
+                                    (if p.pc_serves then "" else " (cannot serve)")
+                                    (String.concat "," p.pc_hw)
+                                    (String.concat "," p.pc_shimmed))
+                                report.Cb.r_paths;
+                              List.iter
+                                (fun d ->
+                                  Printf.printf "  %s\n" (Dg.to_string d))
+                                report.Cb.r_diags)
+                        results;
+                    let compile_errors =
+                      List.exists
+                        (fun (_, r) -> Result.is_error r)
+                        results
+                    in
+                    if
+                      Opendesc_analysis.Engine.failing ~werror all_diags
+                      || compile_errors
+                    then exit 1
+                    else `Ok ())))
+  in
+  Cmd.v
+    (Cmd.info "cost"
+       ~doc:
+         "Static worst-case decode cost certification: a provable cycles/pkt \
+          upper bound per feasible completion path and served intent, priced \
+          against a serializable mirror of the driver cost model and gated \
+          against declared budgets."
+       ~man:
+         [
+           `S Manpage.s_description;
+           `P
+             "For every target the compiled accessor plans and SoftNIC shim \
+              schedule are priced over the feasibility-pruned completion \
+              catalogue: cache-line loads from the record footprint, op \
+              costs from the cost table, worst case maximized over the runs \
+              the programmed configuration selects. Findings: OD025 (bound \
+              over budget), OD026 (cost regression vs a baseline), OD027 \
+              (another feasible path serves the intent strictly cheaper), \
+              OD028 (bitwalk with no static bound). The cost_bound bench \
+              cross-validates the bound against the runtime ledger. See \
+              docs/COSTMODEL.md.";
+         ])
+    Term.(
+      ret
+        (const run $ targets_arg $ semantics_arg $ intent_arg $ alpha_arg
+       $ budget_arg $ table_arg $ werror_arg $ json_arg $ sarif_arg
+       $ inject_arg))
+
 (* --- fuzz ---------------------------------------------------------- *)
 
 let fuzz_cmd =
@@ -1437,7 +1838,8 @@ let fuzz_cmd =
           ~doc:
             "Near-miss mode: mutate each generated spec just past a \
              contract boundary (duplicate emit, undersized slot, unknown \
-             or over-wide semantic) and assert the specific OD code fires.")
+             or over-wide semantic, budget below the proved cost bound) \
+             and assert the specific OD code fires.")
   in
   let run seed count json out shrink_budget negative =
     if negative then begin
@@ -1586,8 +1988,10 @@ let upgrade_cmd =
       value & flag
       & info [ "json" ]
           ~doc:
-            "Machine-readable outcome (schema opendesc-upgrade-1); only \
-             deterministic fields, so pinned-seed output is bit-reproducible.")
+            "Machine-readable outcome (schema opendesc-upgrade-2); \
+             deterministic fields plus the measured producer quiesce pause \
+             (pause_s), so pinned-seed output is bit-reproducible once \
+             pause_s is filtered.")
   in
   let drill_arg =
     Arg.(
@@ -1740,8 +2144,8 @@ let main =
     (Cmd.info "opendesc_cc" ~version:"0.1.0" ~doc)
     [
       list_cmd; paths_cmd; cfg_cmd; compile_cmd; placement_cmd; validate_cmd;
-      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; certify_cmd; fuzz_cmd;
-      upgrade_cmd; shims_cmd;
+      diff_cmd; parallel_cmd; chaos_cmd; lint_cmd; certify_cmd; cost_cmd;
+      fuzz_cmd; upgrade_cmd; shims_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -65,6 +65,10 @@ type report = {
   r_new : string;
   r_entries : entry list;
   r_cert : cert_status option;
+  r_cost : (float * float) option;
+      (* (old bound, new bound): Costbound's provable worst-case decode
+         cost per packet for each revision, when the caller compiled
+         both — lets diff flag a Transparent-but-slower bump (OD026). *)
 }
 
 let cert_status_to_string = function
@@ -145,7 +149,7 @@ let match_paths (old_paths : ipath list) (new_paths : ipath list) =
   in
   (pairs, unmatched_old, unmatched_new)
 
-let check ?recompile_certificate (old_i : iface) (new_i : iface) : report =
+let check ?recompile_certificate ?cost (old_i : iface) (new_i : iface) : report =
   let entries = ref [] in
   let add e = entries := e :: !entries in
   let pairs, removed, added = match_paths old_i.ev_paths new_i.ev_paths in
@@ -322,7 +326,7 @@ let check ?recompile_certificate (old_i : iface) (new_i : iface) : report =
             | Some h -> Cert_stale { held = h; current }
             | None -> Cert_missing current)
   in
-  { r_old = old_i.ev_nic; r_new = new_i.ev_nic; r_entries; r_cert }
+  { r_old = old_i.ev_nic; r_new = new_i.ev_nic; r_entries; r_cert; r_cost = cost }
 
 (* ------------------------------------------------------------------ *)
 (* Rendering. *)
@@ -379,10 +383,17 @@ let report_to_json (r : report) =
     (Diagnostic.json_escape r.r_old)
     (Diagnostic.json_escape r.r_new)
     (class_to_string (worst r))
-    (match r.r_cert with
+    ((match r.r_cert with
+     | None -> ""
+     | Some c ->
+         Printf.sprintf ",\"recompile_certificate\":%s" (cert_status_json c))
+    ^
+    match r.r_cost with
     | None -> ""
-    | Some c ->
-        Printf.sprintf ",\"recompile_certificate\":%s" (cert_status_json c))
+    | Some (o, n) ->
+        Printf.sprintf
+          ",\"cost\":{\"old_bound\":%.1f,\"new_bound\":%.1f,\"delta\":%.1f}" o
+          n (n -. o))
     (String.concat "," (List.map entry_to_json r.r_entries))
 
 let pp_entry ppf (e : entry) =
@@ -428,4 +439,11 @@ let pp ppf (r : report) =
               Format.fprintf ppf "%s:@." (class_to_string k);
               List.iter (Format.fprintf ppf "  - %a@." pp_entry) group)
         [ Breaking; Recompile; Transparent ]);
+  (match r.r_cost with
+  | Some (o, n) when abs_float (n -. o) > 1e-9 ->
+      Format.fprintf ppf
+        "decode cost bound: %.1f -> %.1f cycles/pkt (%+.1f)@." o n (n -. o)
+  | Some (o, _) ->
+      Format.fprintf ppf "decode cost bound: unchanged (%.1f cycles/pkt)@." o
+  | None -> ());
   pp_cert ppf r.r_cert

@@ -71,12 +71,22 @@ type report = {
   r_entries : entry list;
   r_cert : cert_status option;
       (** [None] when the caller didn't supply certificate evidence *)
+  r_cost : (float * float) option;
+      (** (old bound, new bound): {!Costbound}'s provable worst-case
+          decode cost per packet for each revision, when the caller
+          compiled both — so a Transparent-but-slower bump is visible
+          (and gated as OD026 by [opendesc_cc diff]). *)
 }
 
 val cert_status_to_string : cert_status -> string
 (** Stable slug: ["not_required" | "fresh" | "stale" | "missing"]. *)
 
-val check : ?recompile_certificate:string option * string -> iface -> iface -> report
+val check :
+  ?recompile_certificate:string option * string ->
+  ?cost:float * float ->
+  iface ->
+  iface ->
+  report
 (** [check old new]: paths are matched by Prov-set similarity; matched
     pairs are compared semantic-by-semantic (presence, placement, width
     — widths judged by {!Absdom} range inclusion), unmatched paths

@@ -247,6 +247,10 @@ type swap_outcome = {
   sw_torn : int;  (** non-quiescent epoch flips observed — must be 0 *)
   sw_upgrade_errors : int;  (** Device.upgrade refusals — must be 0 *)
   sw_latency_s : float;  (** quiesce request until every worker acked *)
+  sw_pause_s : float;
+      (** producer quiesce pause: injection halted from the quiesce
+          request until the stream resumed (or, quarantined, until the
+          verdict withheld the remainder) — ROADMAP item 4's bound *)
   sw_post_pairs : (bytes * bytes) list array option;
       (** per queue: (packet, completion) pairs delivered under epoch 1,
           delivery order — the rev-B reference-decode evidence *)
@@ -887,13 +891,16 @@ let hot_swap ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024)
   Atomic.set ctl.ctl_cmd (Some cmd);
   await_counter ctl.ctl_acks workers;
   let latency_s = Unix.gettimeofday () -. t_swap in
-  (* Epoch 1 (or the rest of the refused stream). *)
-  let withheld =
+  (* Epoch 1 (or the rest of the refused stream). The producer pause
+     ends the instant injection restarts; quarantine never resumes, so
+     its pause ends at the verdict. *)
+  let withheld, pause_s =
     match cmd with
-    | Swap_quarantine -> pkts - at
+    | Swap_quarantine -> (pkts - at, Unix.gettimeofday () -. t_swap)
     | Swap_apply _ | Swap_refuse ->
+        let pause_s = Unix.gettimeofday () -. t_swap in
         push_range (pkts - at);
-        0
+        (0, pause_s)
   in
   let p_minor_words = Gc.minor_words () -. p_mw0 in
   Atomic.set stop true;
@@ -950,6 +957,7 @@ let hot_swap ?(domains = 1) ?(batch = 32) ?(ring_capacity = 1024)
       sw_torn = Atomic.get ctl.ctl_torn;
       sw_upgrade_errors = Atomic.get ctl.ctl_upgrade_errors;
       sw_latency_s = latency_s;
+      sw_pause_s = pause_s;
       sw_post_pairs = Option.map (Array.map List.rev) ctl.ctl_post_pairs;
     }
   in

@@ -234,6 +234,11 @@ type swap_outcome = {
   sw_latency_s : float;
       (** quiesce request until every worker acknowledged the new epoch
           (includes the verdict computation — recompile, certify) *)
+  sw_pause_s : float;
+      (** producer quiesce pause: how long injection was halted — from
+          the quiesce request until the post-swap stream resumed (for a
+          quarantine, until the verdict withheld the remainder). The
+          live_upgrade bench bounds this below 100 ms at 4 domains. *)
   sw_post_pairs : (bytes * bytes) list array option;
       (** with [~collect_post:true]: per queue, the (packet, completion)
           pairs delivered under epoch 1 in delivery order — the evidence

@@ -88,6 +88,7 @@ type outcome = {
   o_upgrade_errors : int;
   o_wall_s : float;
   o_latency_s : float;
+  o_pause_s : float;
   o_faults : Fault.counters;
   o_post_pairs : (bytes * bytes) list array option;
   o_compiled_new : Opendesc.Compile.t option;
@@ -234,6 +235,7 @@ type summary = {
   s_drops : int;
   s_wall_s : float;
   s_latency_s : float;
+  s_pause_s : float;
   s_counters : Fault.counters;
   s_post_pairs : (bytes * bytes) list array option;
   s_applied : bool;
@@ -316,12 +318,17 @@ let run_seq ~mq ~plan ~batch ~pkts ~at ~workload ~collect_post ~stack0
   | Parallel.Swap_refuse -> ()
   | Parallel.Swap_quarantine -> ());
   let latency = Unix.gettimeofday () -. t_swap in
-  let withheld =
+  (* The producer quiesce pause: injection halted from the quiesce
+     request until the post-swap stream resumes (for a quarantine,
+     until the verdict withheld the remainder) — the bound ROADMAP
+     item 4 asks the live_upgrade bench to keep under 100 ms. *)
+  let withheld, pause_s =
     match cmd with
-    | Parallel.Swap_quarantine -> pkts - at
+    | Parallel.Swap_quarantine -> (pkts - at, latency)
     | _ ->
+        let pause_s = Unix.gettimeofday () -. t_swap in
         inject_n (pkts - at);
-        0
+        (0, pause_s)
   in
   Array.iter Fault.flush fqs;
   ignore (Mq.drain_chaos_all mq fqs bursts ~f:handle);
@@ -336,6 +343,7 @@ let run_seq ~mq ~plan ~batch ~pkts ~at ~workload ~collect_post ~stack0
     s_drops = Array.fold_left (fun a d -> a + Device.drops d) 0 devices;
     s_wall_s = Unix.gettimeofday () -. t0;
     s_latency_s = latency;
+    s_pause_s = pause_s;
     s_counters =
       Fault.counters_sum (Array.to_list (Array.map Fault.counters fqs));
     s_post_pairs = Option.map (Array.map List.rev) post_pairs;
@@ -363,6 +371,7 @@ let run_par ~mq ~domains ~plan ~batch ~pkts ~at ~workload ~collect_post
     s_drops = res.drops;
     s_wall_s = res.wall_s;
     s_latency_s = sw.sw_latency_s;
+    s_pause_s = sw.Parallel.sw_pause_s;
     s_counters = counters;
     s_post_pairs = sw.sw_post_pairs;
     s_applied = sw.sw_action = Parallel.Sw_applied;
@@ -382,6 +391,7 @@ let summary_zero () =
     s_drops = 0;
     s_wall_s = 0.;
     s_latency_s = 0.;
+    s_pause_s = 0.;
     s_counters = Fault.counters_zero ();
     s_post_pairs = None;
     s_applied = false;
@@ -430,6 +440,7 @@ let mk_outcome ~(old_spec : Opendesc.Nic_spec.t)
     o_upgrade_errors = s.s_upgrade_errors;
     o_wall_s = s.s_wall_s;
     o_latency_s = s.s_latency_s;
+    o_pause_s = s.s_pause_s;
     o_faults = c;
     o_post_pairs = s.s_post_pairs;
     o_compiled_new = d.dc_compiled;
@@ -524,7 +535,7 @@ let to_json (o : outcome) =
   let str s = Buffer.add_string b ("\"" ^ esc s ^ "\"") in
   let int i = Buffer.add_string b (string_of_int i) in
   let bool v = Buffer.add_string b (if v then "true" else "false") in
-  Buffer.add_string b "{\"schema\":\"opendesc-upgrade-1\"";
+  Buffer.add_string b "{\"schema\":\"opendesc-upgrade-2\"";
   field "nic" (fun () -> str o.o_nic);
   field "from" (fun () -> str o.o_from);
   field "to" (fun () -> str o.o_to);
@@ -581,6 +592,12 @@ let to_json (o : outcome) =
   field "reconciled" (fun () -> bool o.o_reconciled);
   field "torn" (fun () -> int o.o_torn);
   field "upgrade_errors" (fun () -> int o.o_upgrade_errors);
+  (* Wall clock and swap latency stay out of the JSON (nondeterministic,
+     goldens pin it byte-for-byte); the pause is the one timing the
+     interface promises, so it is emitted and the golden rules filter
+     it. Dry runs report a deterministic 0. *)
+  field "pause_s" (fun () ->
+      Buffer.add_string b (Printf.sprintf "%.6f" o.o_pause_s));
   Buffer.add_char b '}';
   Buffer.contents b
 
@@ -626,6 +643,8 @@ let pp ppf (o : outcome) =
       (if o.o_reconciled then " (reconciled)" else " (NOT RECONCILED)");
     Format.fprintf ppf "  oracle      torn %d, upgrade errors %d@." o.o_torn
       o.o_upgrade_errors;
-    Format.fprintf ppf "  timing      swap latency %.6f s, wall %.6f s@."
-      o.o_latency_s o.o_wall_s
+    Format.fprintf ppf
+      "  timing      swap latency %.6f s, producer pause %.6f s, wall \
+       %.6f s@."
+      o.o_latency_s o.o_pause_s o.o_wall_s
   end

@@ -114,6 +114,12 @@ type outcome = {
   o_upgrade_errors : int;  (** per-device {!Device.upgrade} refusals *)
   o_wall_s : float;  (** whole run (not in the JSON: nondeterministic) *)
   o_latency_s : float;  (** quiesce request → every worker on epoch 1 *)
+  o_pause_s : float;
+      (** producer quiesce pause: injection halted from the quiesce
+          request until the post-swap stream resumed (for a quarantine,
+          until the verdict withheld the remainder). In the JSON as
+          [pause_s]; the live_upgrade bench bounds it below 100 ms at
+          4 domains. 0 on a dry run. *)
   o_faults : Fault.counters;  (** summed per-queue counters *)
   o_post_pairs : (bytes * bytes) list array option;
       (** with [~collect_post:true]: per queue, epoch-1
@@ -174,8 +180,10 @@ val dry_run :
     are zero and [o_dry] is [true]. *)
 
 val to_json : outcome -> string
-(** One-line JSON document, schema ["opendesc-upgrade-1"]. Only
-    deterministic fields (no wall-clock times). *)
+(** One-line JSON document, schema ["opendesc-upgrade-2"]. Only
+    deterministic fields (no wall-clock or latency times), plus the
+    producer quiesce pause [pause_s] — the one timing the interface
+    promises (the golden rules filter it; dry runs report 0). *)
 
 val pp : Format.formatter -> outcome -> unit
 (** Human-readable multi-line report. *)

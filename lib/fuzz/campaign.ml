@@ -20,6 +20,7 @@ type t = {
   cp_max_bytes : int;
   cp_sw_bound : int;
   cp_obligations : int;
+  cp_cost_obligations : int;
   cp_digest : int32;
 }
 
@@ -31,7 +32,7 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
   let passed = ref 0 in
   let failures = ref [] in
   let paths = ref 0 and configs = ref 0 and max_bytes = ref 0 and sw = ref 0 in
-  let obligations = ref 0 in
+  let obligations = ref 0 and cost_obligations = ref 0 in
   let crc = ref 0xFFFFFFFFl in
   for index = 0 to count - 1 do
     let sseed = Gen.spec_seed ~seed ~index in
@@ -47,7 +48,8 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
         configs := !configs + st.Oracle.st_configs;
         max_bytes := max !max_bytes st.Oracle.st_max_bytes;
         sw := !sw + st.Oracle.st_sw_bound;
-        obligations := !obligations + st.Oracle.st_obligations
+        obligations := !obligations + st.Oracle.st_obligations;
+        cost_obligations := !cost_obligations + st.Oracle.st_cost_obligations
     | Error fl ->
         let still_fails s = Result.is_error (Oracle.check ~seed:sseed s) in
         let r = Shrink.shrink ?budget:shrink_budget ~still_fails sp in
@@ -80,6 +82,7 @@ let run ?(bounds = Gen.default_bounds) ?shrink_budget ?on_spec ~seed ~count () =
     cp_max_bytes = !max_bytes;
     cp_sw_bound = !sw;
     cp_obligations = !obligations;
+    cp_cost_obligations = !cost_obligations;
     cp_digest = !crc;
   }
 
@@ -102,9 +105,10 @@ let to_json t =
     b.Gen.b_max_emits b.Gen.b_max_configs;
   add
     "  \"totals\": { \"paths\": %d, \"configs\": %d, \"max_path_bytes\": %d, \
-     \"software_bound\": %d, \"certify_obligations\": %d },\n"
+     \"software_bound\": %d, \"certify_obligations\": %d, \
+     \"cost_obligations\": %d },\n"
     t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_sw_bound
-    t.cp_obligations;
+    t.cp_obligations t.cp_cost_obligations;
   add "  \"source_digest\": \"0x%08lx\",\n" t.cp_digest;
   add "  \"failures\": [%s\n  ]\n}"
     (String.concat ","
@@ -133,9 +137,9 @@ let summary t =
     (List.length t.cp_failures);
   add
     "      %d paths, %d configs, largest completion %d B, %d certify \
-     obligation(s), digest 0x%08lx\n"
+     obligation(s), %d cost obligation(s), digest 0x%08lx\n"
     t.cp_total_paths t.cp_total_configs t.cp_max_bytes t.cp_obligations
-    t.cp_digest;
+    t.cp_cost_obligations t.cp_digest;
   List.iter
     (fun fr ->
       add "  FAIL %s (seed 0x%016Lx) at %s: %s\n" fr.fr_name fr.fr_seed

@@ -32,6 +32,9 @@ type t = {
   cp_sw_bound : int;
   cp_obligations : int;
       (** proof obligations the certify stage discharged, summed *)
+  cp_cost_obligations : int;
+      (** measured-cost-within-bound checks the cost stage discharged,
+          summed *)
   cp_digest : int32;  (** CRC-32 over every rendered source, in order *)
 }
 

@@ -6,21 +6,27 @@ type mutation =
   | Oversized_slot
   | Unknown_semantic
   | Wide_semantic
+  | Over_budget
 
 let mutations =
-  [ Duplicate_emit; Oversized_slot; Unknown_semantic; Wide_semantic ]
+  [
+    Duplicate_emit; Oversized_slot; Unknown_semantic; Wide_semantic;
+    Over_budget;
+  ]
 
 let mutation_name = function
   | Duplicate_emit -> "duplicate-emit"
   | Oversized_slot -> "oversized-slot"
   | Unknown_semantic -> "unknown-semantic"
   | Wide_semantic -> "wide-semantic"
+  | Over_budget -> "over-budget"
 
 let expected_code = function
   | Duplicate_emit -> "OD005"
   | Oversized_slot -> "OD004"
   | Unknown_semantic -> "OD010"
   | Wide_semantic -> "OD017"
+  | Over_budget -> "OD025"
 
 (* Duplicate the first emit of every non-empty leaf. Mutating only one
    leaf could land on a dead branch; hitting all of them guarantees any
@@ -70,6 +76,36 @@ let map_emitted_fields (sp : Spec.t) f =
   in
   if !hit then Some { sp with sp_headers = headers } else None
 
+(* The over-budget class mutates the declared budget, not the layout:
+   the spec is kept verbatim and cost-checked against a budget of half
+   its own proved worst-case bound, so OD025 must fire whenever the
+   spec compiles under its derived intent. The baseline is the plain
+   lint pass, which never emits OD025 (no budget is declared), so the
+   absent-from-baseline requirement holds by construction. *)
+let compiled_of (sp : Spec.t) =
+  match
+    Nic_spec.load ~name:sp.Spec.sp_name ~kind:Nic_spec.Fully_programmable
+      (Spec.render sp)
+  with
+  | Error _ -> None
+  | Ok spec -> (
+      match Compile.run ~intent:(Oracle.intent_of spec) spec with
+      | Ok c -> Some c
+      | Error _ -> None)
+
+let over_budget_codes (sp : Spec.t) =
+  match compiled_of sp with
+  | None -> []
+  | Some c ->
+      let module Cb = Opendesc_analysis.Costbound in
+      let plan = Compile.to_plan c in
+      let floor = Cb.plan_bound plan in
+      let report =
+        Cb.analyze ~budget:(floor /. 2.) (Compile.contract c) plan
+      in
+      List.map (fun d -> d.D.d_code) report.Cb.r_diags
+      |> List.sort_uniq String.compare
+
 let mutate m (sp : Spec.t) =
   match m with
   | Duplicate_emit ->
@@ -84,6 +120,7 @@ let mutate m (sp : Spec.t) =
   | Wide_semantic ->
       map_emitted_fields sp (fun fld ->
           { fld with Spec.f_bits = 72; f_semantic = Some "rss" })
+  | Over_budget -> if compiled_of sp = None then None else Some sp
 
 type case = {
   ng_index : int;
@@ -133,7 +170,11 @@ let run ?(bounds = Gen.default_bounds) ~seed ~count () =
     match pick 0 with
     | None -> incr skipped
     | Some (m, sp') ->
-        let fired = codes_of (Spec.render sp') in
+        let fired =
+          match m with
+          | Over_budget -> over_budget_codes sp'
+          | _ -> codes_of (Spec.render sp')
+        in
         let expected = expected_code m in
         cases :=
           {

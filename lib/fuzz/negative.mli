@@ -18,6 +18,10 @@ type mutation =
   | Wide_semantic
       (** widen a [@semantic] field past the 64-bit accessor limit →
           OD017 *)
+  | Over_budget
+      (** keep the spec verbatim but declare a budget of half its own
+          proved worst-case decode bound → OD025
+          ({!Opendesc_analysis.Costbound}) *)
 
 val mutations : mutation list
 val mutation_name : mutation -> string

@@ -11,6 +11,7 @@ type stats = {
   st_max_bytes : int;
   st_sw_bound : int;
   st_obligations : int;
+  st_cost_obligations : int;
 }
 
 type failure = { fl_stage : string; fl_message : string }
@@ -18,7 +19,7 @@ type failure = { fl_stage : string; fl_message : string }
 let stage_names =
   [
     "load"; "pretty"; "lint"; "symexec"; "compile"; "certify"; "differential";
-    "device";
+    "device"; "cost";
   ]
 
 let fail stage fmt = Printf.ksprintf (fun m -> Error { fl_stage = stage; fl_message = m }) fmt
@@ -430,6 +431,58 @@ let check_device rng (spec : Nic_spec.t) =
     (Ok ()) spec.paths
 
 (* ------------------------------------------------------------------ *)
+(* Stage: the static worst-case bound contains the measured ledger
+   cost. Every packet is decoded through the per-packet generated
+   runtime with a fresh ledger; the charge must stay within
+   Costbound's bound for the deployed plan at burst 1 (the amortised
+   doorbell term is pure slack on the per-packet path, so a violation
+   means the static model undercounts real machinery, not noise). *)
+
+module Cb = Opendesc_analysis.Costbound
+
+let cost_packets = 16
+
+let check_cost rng (spec : Nic_spec.t) (compiled : Compile.t) =
+  let bound = Cb.plan_bound (Compile.to_plan compiled) in
+  match
+    Driver.Device.create ~queue_depth:64 ~config:compiled.Compile.config
+      (Nic_models.Model.make spec)
+  with
+  | Error m -> fail "cost" "device create failed: %s" m
+  | Ok dev ->
+      let stack = Driver.Hoststacks.opendesc ~compiled in
+      let env = Softnic.Feature.make_env () in
+      let wl =
+        Packet.Workload.make ~seed:(Rng.next64 rng) ~flows:8
+          Packet.Workload.Imix
+      in
+      let ledger = Driver.Cost.create () in
+      let rec go n checked =
+        if n = 0 then Ok checked
+        else begin
+          let pkt = Packet.Workload.next wl in
+          if not (Driver.Device.rx_inject dev pkt) then
+            fail "cost" "inject refused"
+          else
+            match Driver.Device.rx_consume dev with
+            | None -> fail "cost" "no completion"
+            | Some (buf, len, cmpt) ->
+                Driver.Cost.reset ledger;
+                ignore
+                  (stack.Driver.Stack.st_consume ledger env
+                     { Driver.Stack.pkt = buf; len; cmpt });
+                let measured = Driver.Cost.total ledger in
+                if measured > bound *. 1.0000001 then
+                  fail "cost"
+                    "packet %d: measured %.1f cycles exceeds the static \
+                     bound %.1f"
+                    (cost_packets - n) measured bound
+                else go (n - 1) (checked + 1)
+        end
+      in
+      go cost_packets 0
+
+(* ------------------------------------------------------------------ *)
 
 let check_source ?(seed = 0L) ~name src =
   let rng = Rng.create seed in
@@ -443,6 +496,7 @@ let check_source ?(seed = 0L) ~name src =
       let* obligations = check_certify compiled in
       let* () = check_differential rng spec in
       let* () = check_device rng spec in
+      let* cost_obligations = check_cost rng spec compiled in
       Ok
         {
           st_paths = List.length spec.paths;
@@ -454,6 +508,7 @@ let check_source ?(seed = 0L) ~name src =
             List.fold_left (fun a p -> max a (Path.size p)) 0 spec.paths;
           st_sw_bound = sw_bound;
           st_obligations = obligations;
+          st_cost_obligations = cost_obligations;
         }
 
 let check ?seed sp = check_source ?seed ~name:sp.Spec.sp_name (Spec.render sp)

@@ -21,7 +21,11 @@
       decoders (P4 interpreter, synthesized accessors, a bit-by-bit
       reference reader) agree on every field of every path;
     + [device] — a simulated device programmed to each path emits
-      completions whose bytes all three decoders again agree on.
+      completions whose bytes all three decoders again agree on;
+    + [cost] — the static worst-case decode bound
+      ({!Opendesc_analysis.Costbound.plan_bound}) contains the cost the
+      driver ledger actually charges when the per-packet generated
+      runtime decodes real completions.
 
     The first failing stage aborts the check; its name and message make
     up the {!failure} the shrinker minimizes against. *)
@@ -32,6 +36,8 @@ type stats = {
   st_max_bytes : int;  (** largest completion layout *)
   st_sw_bound : int;  (** intent semantics the compile bound in software *)
   st_obligations : int;  (** proof obligations the certify stage discharged *)
+  st_cost_obligations : int;
+      (** measured-cost-within-bound checks the cost stage discharged *)
 }
 
 type failure = { fl_stage : string; fl_message : string }

@@ -1,15 +1,28 @@
 type field = { if_name : string; if_semantic : string; if_width : int }
 
-type t = { name : string; fields : field list }
+type t = { name : string; fields : field list; budget : float option }
 
 let required t = List.map (fun f -> f.if_semantic) t.fields
 
-let make ?(name = "intent_t") semantics =
+let make ?(name = "intent_t") ?budget semantics =
   {
     name;
     fields =
       List.map (fun (s, w) -> { if_name = s; if_semantic = s; if_width = w }) semantics;
+    budget;
   }
+
+(* [@budget(<cycles>)] on the header: the decode-cost envelope the
+   application is willing to pay per packet (OD025 gates against it).
+   Same argument shapes as [@cost] on a field. *)
+let budget_of_header (h : P4.Typecheck.header_def) =
+  match P4.Ast.find_annotation "budget" h.h_annots with
+  | None -> None
+  | Some a -> (
+      match a.args with
+      | [ P4.Ast.AInt c ] -> Some (Int64.to_float c)
+      | [ P4.Ast.AString s ] -> float_of_string_opt s
+      | _ -> None)
 
 let of_header (h : P4.Typecheck.header_def) =
   {
@@ -21,6 +34,7 @@ let of_header (h : P4.Typecheck.header_def) =
           | Some s -> Some { if_name = f.f_name; if_semantic = s; if_width = f.f_bits }
           | None -> None)
         h.h_fields;
+    budget = budget_of_header h;
   }
 
 let has_intent_annotation (h : P4.Typecheck.header_def) =
@@ -110,10 +124,20 @@ let canonical t =
       Buffer.add_char buf ';')
     t.fields;
   Buffer.add_char buf '}';
+  (* Only budgeted intents extend the key, so every pre-existing cache
+     entry keeps its exact canonical form. *)
+  (match t.budget with
+  | Some b ->
+      Buffer.add_char buf '@';
+      Buffer.add_string buf (string_of_float b)
+  | None -> ());
   Buffer.contents buf
 
 let to_p4 t =
   let buf = Buffer.create 128 in
+  (match t.budget with
+  | Some b -> Buffer.add_string buf (Printf.sprintf "@budget(%.0f)\n" b)
+  | None -> ());
   Buffer.add_string buf (Printf.sprintf "@intent\nheader %s {\n" t.name);
   List.iter
     (fun f ->

@@ -4,7 +4,10 @@
     delivered with each received packet, declared as a P4 header whose
     fields carry [@semantic] annotations. Fields may additionally carry
     [@cost(<cycles>)] to register a brand-new semantic together with its
-    software-synthesis cost, or [@cost(inf)] for hardware-only features. *)
+    software-synthesis cost, or [@cost(inf)] for hardware-only features.
+    The header itself may carry [@budget(<cycles>)]: the worst-case
+    decode cost the application accepts per packet, gated statically by
+    [Opendesc_analysis.Costbound] (OD025). *)
 
 type field = {
   if_name : string;  (** field name in the intent header *)
@@ -15,12 +18,13 @@ type field = {
 type t = {
   name : string;  (** intent header name *)
   fields : field list;
+  budget : float option;  (** [@budget(<cycles>)] decode-cost envelope *)
 }
 
 val required : t -> string list
 (** The requested semantic set Req, in declaration order. *)
 
-val make : ?name:string -> (string * int) list -> t
+val make : ?name:string -> ?budget:float -> (string * int) list -> t
 (** [make [(semantic, width); ...]] builds an intent programmatically;
     field names are the semantic names. *)
 

@@ -148,9 +148,10 @@ let to_iface (spec : Nic_spec.t) : Opendesc_analysis.Evolution.iface =
       List.sort Stdlib.compare (List.map Descparser.size spec.tx_formats);
   }
 
-let check ?recompile_certificate (old_spec : Nic_spec.t) (new_spec : Nic_spec.t) =
-  Opendesc_analysis.Evolution.check ?recompile_certificate (to_iface old_spec)
-    (to_iface new_spec)
+let check ?recompile_certificate ?cost (old_spec : Nic_spec.t)
+    (new_spec : Nic_spec.t) =
+  Opendesc_analysis.Evolution.check ?recompile_certificate ?cost
+    (to_iface old_spec) (to_iface new_spec)
 
 (* Certified evolution check (docs/CERTIFICATION.md): when the
    classification contains a Recompile-class entry, recompile the new
@@ -158,7 +159,7 @@ let check ?recompile_certificate (old_spec : Nic_spec.t) (new_spec : Nic_spec.t)
    report whether the certificate the cache now holds covers the new
    contract hash. Without a Recompile entry no certificate is demanded
    (and none is computed). *)
-let check_certified ?alpha ?tx_intent ~intent (old_spec : Nic_spec.t)
+let check_certified ?alpha ?tx_intent ?cost ~intent (old_spec : Nic_spec.t)
     (new_spec : Nic_spec.t) =
   let base =
     Opendesc_analysis.Evolution.check (to_iface old_spec) (to_iface new_spec)
@@ -171,7 +172,7 @@ let check_certified ?alpha ?tx_intent ~intent (old_spec : Nic_spec.t)
   in
   let current = Cache.contract_hash_of new_spec in
   if not needs then
-    (check ~recompile_certificate:(None, current) old_spec new_spec, None)
+    (check ~recompile_certificate:(None, current) ?cost old_spec new_spec, None)
   else begin
     let result = Cache.certify ?alpha ?tx_intent ~intent new_spec in
     let held =
@@ -180,7 +181,7 @@ let check_certified ?alpha ?tx_intent ~intent (old_spec : Nic_spec.t)
           Some c.Opendesc_analysis.Certify.c_contract
       | Cache.Cert_missing -> None
     in
-    ( check ~recompile_certificate:(held, current) old_spec new_spec,
+    ( check ~recompile_certificate:(held, current) ?cost old_spec new_spec,
       Some result )
   end
 

@@ -42,6 +42,7 @@ val to_iface : Nic_spec.t -> Opendesc_analysis.Evolution.iface
 
 val check :
   ?recompile_certificate:string option * string ->
+  ?cost:float * float ->
   Nic_spec.t ->
   Nic_spec.t ->
   Opendesc_analysis.Evolution.report
@@ -49,12 +50,14 @@ val check :
     tagged [Transparent]/[Recompile]/[Breaking], Breaking entries with a
     concrete configuration witness. Supersedes {!compare} for tooling;
     the flat {!change} list remains for programmatic consumers.
-    [?recompile_certificate] is threaded to
+    [?recompile_certificate] and [?cost] (the per-revision worst-case
+    decode bounds from [Opendesc_analysis.Costbound]) are threaded to
     {!Opendesc_analysis.Evolution.check}. *)
 
 val check_certified :
   ?alpha:float ->
   ?tx_intent:Intent.t ->
+  ?cost:float * float ->
   intent:Intent.t ->
   Nic_spec.t ->
   Nic_spec.t ->

@@ -916,6 +916,80 @@ let test_certificate_ranges =
       true)
 
 (* ------------------------------------------------------------------ *)
+(* Static cost bounds (OD025–OD028): seeded drills on the e1000 and
+   mlx5 catalogue plans, exact codes — the same single-mutation
+   strategy as the certification tests, but the drills corrupt the
+   cost story (budget, baseline, path economics, bit-walks) rather
+   than the decode semantics. *)
+
+module Cb = Opendesc_analysis.Costbound
+
+let drill_report m src =
+  let _, compiled = compile_for_certify "cost-drill" src in
+  let drill = Cb.inject m (Opendesc.Compile.to_plan compiled) in
+  Cb.analyze ?budget:drill.Cb.dr_budget ?baseline:drill.Cb.dr_baseline
+    (Opendesc.Compile.contract compiled) drill.Cb.dr_plan
+
+let test_od025_over_budget () =
+  List.iter
+    (fun src ->
+      let r = drill_report Cb.Over_budget src in
+      assert_code ~severity:Dg.Error "OD025" r.Cb.r_diags)
+    [ legacy; newer; mlx5 ]
+
+let test_od026_cost_regression () =
+  List.iter
+    (fun src ->
+      let r = drill_report Cb.Cost_regression src in
+      assert_code ~severity:Dg.Warning "OD026" r.Cb.r_diags)
+    [ legacy; newer; mlx5 ]
+
+let test_od027_dominated_config () =
+  (* Needs a multi-path NIC: demoting every hardware read to an
+     expensive shim leaves some other feasible path serving the same
+     intent cheaper. e1000-legacy is single-path, so the drill has no
+     site there — newer and mlx5 are the fixtures. *)
+  List.iter
+    (fun src ->
+      let r = drill_report Cb.Dominated_config src in
+      assert_code ~severity:Dg.Info "OD027" r.Cb.r_diags)
+    [ newer; mlx5 ]
+
+let test_od028_unbounded_walk () =
+  List.iter
+    (fun src ->
+      let r = drill_report Cb.Unbounded_walk src in
+      assert_code ~severity:Dg.Error "OD028" r.Cb.r_diags)
+    [ legacy; newer; mlx5 ]
+
+(* The converse: pristine catalogue plans are cost-clean — the bound is
+   finite and positive, and no Error- or Warning-severity cost
+   diagnostic fires without a drill. (Info-severity OD027 is legitimate
+   on multi-path NICs whose idealized cheapest path differs from the
+   Eq. 1 deployment, which also weighs descriptor bytes.) *)
+let test_costbound_pristine_plans () =
+  List.iter
+    (fun src ->
+      let _, compiled = compile_for_certify "cost-ok" src in
+      let r =
+        Cb.analyze (Opendesc.Compile.contract compiled)
+          (Opendesc.Compile.to_plan compiled)
+      in
+      check ab "bound is positive" true (r.Cb.r_cost.Cb.co_bound > 0.0);
+      check ab "no error/warning cost diagnostics" true
+        (List.for_all
+           (fun (d : Dg.t) -> d.d_severity = Dg.Info)
+           r.Cb.r_diags);
+      (* the worst feasible path is the deployed one's bound *)
+      check ab "bound covers every serving path" true
+        (List.for_all
+           (fun (p : Cb.path_cost) ->
+             p.Cb.pc_index <> r.Cb.r_cost.Cb.co_path_index
+             || p.Cb.pc_bound = r.Cb.r_cost.Cb.co_bound)
+           r.Cb.r_paths))
+    [ legacy; newer; mlx5 ]
+
+(* ------------------------------------------------------------------ *)
 (* Diagnostic plumbing. *)
 
 let test_diagnostic_ordering_and_render () =
@@ -1043,6 +1117,18 @@ let () =
           Alcotest.test_case "evolution demands certificate" `Quick
             test_evolution_recompile_certificate;
           QCheck_alcotest.to_alcotest test_certificate_ranges;
+        ] );
+      ( "cost bounds",
+        [
+          Alcotest.test_case "pristine plans are cost-clean" `Quick
+            test_costbound_pristine_plans;
+          Alcotest.test_case "OD025 over budget" `Quick test_od025_over_budget;
+          Alcotest.test_case "OD026 cost regression" `Quick
+            test_od026_cost_regression;
+          Alcotest.test_case "OD027 dominated config" `Quick
+            test_od027_dominated_config;
+          Alcotest.test_case "OD028 unbounded walk" `Quick
+            test_od028_unbounded_walk;
         ] );
       ( "diagnostics",
         [

@@ -1558,6 +1558,106 @@ let test_upgrade_effective_class_scoping () =
         (o.Upgrade.o_action = Upgrade.Quarantined)
 
 (* ------------------------------------------------------------------ *)
+(* Static cost-bound certification (docs/COSTMODEL.md) *)
+
+module Cb = Opendesc_analysis.Costbound
+
+(* The static table must mirror the driver's own constants: a drifted
+   copy would make every bound silently wrong, so the mirror is pinned
+   here rather than trusted. *)
+let test_costbound_table_matches_driver () =
+  let t = Cb.default_table in
+  let af = Alcotest.float 0.0 in
+  check af "cache_line_load" Cost.K.cache_line_load t.Cb.tb_cache_line_load;
+  check af "accessor_read" Cost.K.accessor_read t.Cb.tb_accessor_read;
+  check af "ring_advance" Cost.K.ring_advance t.Cb.tb_ring_advance;
+  check af "refill" Cost.K.refill t.Cb.tb_refill;
+  check af "doorbell" Cost.K.doorbell t.Cb.tb_doorbell;
+  check af "sw_parse" Stack.parse_cost t.Cb.tb_sw_parse;
+  check af "clock_ghz" Cost.K.clock_ghz t.Cb.tb_clock_ghz
+
+(* The containment property the whole cost-bound story rests on: across
+   the catalog, random intents drawn from each NIC's own
+   software-feasible semantics, and random traffic, the ledger charge
+   for any single packet decoded by the generated per-packet runtime
+   never exceeds the static worst-case bound proved for the deployed
+   plan. *)
+let prop_costbound_contains_ledger =
+  QCheck.Test.make ~count:1000
+    ~name:"static cost bound contains the measured ledger cost (catalog)"
+    QCheck.(triple small_nat small_nat (int_bound 1_000_000))
+    (fun (idx, pick, seed) ->
+      let models = Nic_models.Catalog.all () in
+      let model = List.nth models (idx mod List.length models) in
+      let spec = model.Nic_models.Model.spec in
+      let reg = Opendesc.Semantic.default () in
+      let sems =
+        List.concat_map
+          (fun (p : Opendesc.Path.t) -> p.p_prov)
+          spec.Opendesc.Nic_spec.paths
+        |> List.sort_uniq compare
+        |> List.filter (fun s ->
+               Opendesc.Semantic.cost reg s < infinity
+               && Softnic.Registry.mem softnic s
+               && not (List.mem s Opendesc.Semantic.hardware_only))
+      in
+      let chosen =
+        match sems with
+        | [] -> [ "pkt_len" ]
+        | _ ->
+            let n = List.length sems in
+            let mask = 1 + (pick mod ((1 lsl min n 6) - 1)) in
+            let picked =
+              List.filteri (fun i _ -> i < 6 && mask land (1 lsl i) <> 0) sems
+            in
+            if picked = [] then [ List.hd sems ] else picked
+      in
+      let intent =
+        Opendesc.Intent.make
+          (List.map
+             (fun s ->
+               ( s,
+                 match Opendesc.Semantic.width reg s with
+                 | Some w -> w
+                 | None -> 16 ))
+             chosen)
+      in
+      match Opendesc.Compile.run ~intent spec with
+      | Error e -> QCheck.Test.fail_report e
+      | Ok compiled -> (
+          let bound = Cb.plan_bound (Opendesc.Compile.to_plan compiled) in
+          match
+            Device.create ~queue_depth:64
+              ~config:compiled.Opendesc.Compile.config model
+          with
+          | Error e -> QCheck.Test.fail_report e
+          | Ok dev ->
+              let stack = Hoststacks.opendesc ~compiled in
+              let env = Softnic.Feature.make_env () in
+              let wl =
+                Packet.Workload.make
+                  ~seed:(Int64.of_int (seed + 1))
+                  Packet.Workload.Imix
+              in
+              let ledger = Cost.create () in
+              let ok = ref true in
+              for _ = 1 to 8 do
+                let pkt = Packet.Workload.next wl in
+                if Device.rx_inject dev pkt then
+                  match Device.rx_consume dev with
+                  | Some (buf, len, cmpt) ->
+                      Cost.reset ledger;
+                      ignore
+                        (stack.Stack.st_consume ledger env
+                           { Stack.pkt = buf; len; cmpt });
+                      if Cost.total ledger > bound *. 1.0000001 then
+                        ok := false
+                  | None -> ok := false
+                else ok := false
+              done;
+              !ok))
+
+(* ------------------------------------------------------------------ *)
 
 let qsuite tests = List.map QCheck_alcotest.to_alcotest tests
 
@@ -1677,4 +1777,10 @@ let () =
           Alcotest.test_case "stats ratio" `Quick test_stats_ratio;
           Alcotest.test_case "conversions" `Quick test_pps_latency_conversions;
         ] );
+      ( "costbound",
+        [
+          Alcotest.test_case "table mirrors driver constants" `Quick
+            test_costbound_table_matches_driver;
+        ]
+        @ qsuite [ prop_costbound_contains_ledger ] );
     ]
